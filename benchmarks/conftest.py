@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one benchmark target. Simulation-sweep
+figures share a single memoized sweep (warmed once per session), so the
+whole harness completes in minutes while still regenerating every
+artifact at a meaningful scale. Rendered results are written to
+``results/<experiment>.txt`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``READDUO_BENCH_REQUESTS`` — requests per trace in the shared sweep
+  (default 30000, the paper-scale run recorded in EXPERIMENTS.md; set a
+  smaller value, e.g. 8000, for a quick pass).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Requests per trace for sweep-driven benchmarks.
+BENCH_REQUESTS = int(os.environ.get("READDUO_BENCH_REQUESTS", "30000"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def warm_sweep():
+    """Run the shared scheme x workload sweep once for all figure benches."""
+    from repro.experiments.figures._sweep import sweep_settings
+    from repro.experiments.runner import run_sweep
+
+    settings = sweep_settings(BENCH_REQUESTS)
+    run_sweep(settings)
+    return settings
+
+
+def save_result(results_dir: Path, result) -> None:
+    """Persist a rendered experiment table for EXPERIMENTS.md."""
+    path = results_dir / f"{result.experiment_id}.txt"
+    path.write_text(result.render() + "\n")

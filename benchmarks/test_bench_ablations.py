@@ -1,0 +1,45 @@
+"""Benchmark targets for the reproduction's design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_conversion_throttle,
+    ablation_scrub_contention,
+    ablation_write_cancellation,
+)
+
+from conftest import save_result
+
+
+def test_ablation_scrub_contention(benchmark, results_dir):
+    result = benchmark.pedantic(
+        ablation_scrub_contention, rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    assert result.rows
+
+
+def test_ablation_write_cancellation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        ablation_write_cancellation, rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    assert result.rows
+
+
+def test_ablation_conversion_throttle(benchmark, results_dir):
+    result = benchmark.pedantic(
+        ablation_conversion_throttle, rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    assert result.rows
+
+
+def test_ablation_write_truncation(benchmark, results_dir):
+    from repro.experiments.ablations import ablation_write_truncation
+
+    result = benchmark.pedantic(
+        ablation_write_truncation, rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    assert result.rows

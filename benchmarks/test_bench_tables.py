@@ -1,0 +1,32 @@
+"""Benchmark targets regenerating the paper's tables (I-V, VII-X).
+
+Each benchmark measures the driver's end-to-end cost (the analytic
+reliability sweeps are the non-trivial ones) and persists the rendered
+table under ``results/``.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+from conftest import save_result
+
+ANALYTIC_TABLES = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+]
+
+
+@pytest.mark.parametrize("experiment", ANALYTIC_TABLES)
+def test_table(benchmark, experiment, results_dir):
+    driver = EXPERIMENTS[experiment]
+    result = benchmark(driver)
+    save_result(results_dir, result)
+    assert result.rows

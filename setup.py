@@ -1,0 +1,8 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that `pip install -e .` works in offline
+environments whose setuptools predates bundled PEP-660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

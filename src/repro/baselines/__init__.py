@@ -1,0 +1,6 @@
+"""Baseline schemes the paper compares against."""
+
+from .precise import PreciseWritePolicy
+from .tlc import TlcPolicy
+
+__all__ = ["PreciseWritePolicy", "TlcPolicy"]

@@ -1,0 +1,181 @@
+"""Command-line front end: ``readduo`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show every reproducible experiment.
+* ``run <experiment> [...]`` — regenerate one or more tables/figures
+  (``all`` runs everything; ``--quick`` shrinks the simulation sweep).
+* ``simulate --workload W --scheme S`` — one simulation run with a full
+  statistics dump.
+* ``sweep --output FILE`` — run the scheme x workload grid and export
+  every run's statistics as JSON for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.schemes import SCHEME_NAMES, PolicyContext, make_policy
+from .experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
+from .memsim.config import MemoryConfig
+from .memsim.engine import simulate
+from .traces.generator import generate_trace
+from .traces.spec import instructions_for_requests, workload, workload_names
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Reproducible experiments (paper artifact -> driver):")
+    for name in EXPERIMENTS:
+        marker = " [simulation sweep]" if name in SWEEP_EXPERIMENTS else ""
+        print(f"  {name}{marker}")
+    print("\nSchemes:", ", ".join(SCHEME_NAMES))
+    print("Workloads:", ", ".join(workload_names()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = args.experiments
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        driver = EXPERIMENTS[name]
+        kwargs = {}
+        if args.quick and name in SWEEP_EXPERIMENTS:
+            kwargs["target_requests"] = args.quick_requests
+        result = driver(**kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = workload(args.workload)
+    config = MemoryConfig()
+    instructions = args.instructions or instructions_for_requests(
+        profile, args.requests, config.num_cores
+    )
+    trace = generate_trace(
+        profile,
+        instructions_per_core=instructions,
+        num_cores=config.num_cores,
+        seed=args.seed,
+    )
+    policy = make_policy(
+        args.scheme, PolicyContext(profile=profile, config=config, seed=args.seed)
+    )
+    stats = simulate(trace, policy, config)
+    print(f"workload={stats.workload} scheme={stats.scheme}")
+    for key, value in stats.summary().items():
+        if key in ("scheme", "workload"):
+            continue
+        print(f"  {key:14s} {value}")
+    print("  energy by category (uJ):")
+    for category, pj in sorted(stats.energy.by_category.items()):
+        print(f"    {category:12s} {pj / 1e6:.3f}")
+    print("  cell writes by cause:")
+    for cause, cells in sorted(stats.wear.by_cause.items()):
+        print(f"    {cause:12s} {cells}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.runner import ALL_SCHEMES, SweepSettings, run_sweep
+
+    settings = SweepSettings(
+        schemes=tuple(args.schemes) if args.schemes else ALL_SCHEMES,
+        workloads=tuple(args.workloads) if args.workloads else (),
+        target_requests=args.requests,
+        seed=args.seed,
+    )
+    sweep = run_sweep(settings)
+    payload = {
+        "target_requests": settings.target_requests,
+        "seed": settings.seed,
+        "runs": {
+            workload_name: {
+                scheme: {
+                    **stats.summary(),
+                    "execution_time_ns": stats.execution_time_ns,
+                    "dynamic_energy_pj": stats.dynamic_energy_pj,
+                    "total_cell_writes": stats.total_cell_writes,
+                    "energy_by_category_pj": stats.energy.by_category,
+                    "wear_by_cause_cells": stats.wear.by_cause,
+                }
+                for scheme, stats in per_scheme.items()
+            }
+            for workload_name, per_scheme in sweep.items()
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}: {len(payload['runs'])} workloads x "
+              f"{len(settings.schemes)} schemes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="readduo",
+        description="ReadDuo (DSN 2016) reproduction: MLC PCM drift-resilient readout",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments, schemes, workloads")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate paper tables/figures")
+    p_run.add_argument("experiments", nargs="+",
+                       help="experiment ids (or 'all')")
+    p_run.add_argument("--quick", action="store_true",
+                       help="shrink the simulation sweep for a fast pass")
+    p_run.add_argument("--quick-requests", type=int, default=4000,
+                       help="requests per trace in --quick mode")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sim = sub.add_parser("simulate", help="run one workload under one scheme")
+    p_sim.add_argument("--workload", required=True, choices=workload_names())
+    p_sim.add_argument("--scheme", required=True)
+    p_sim.add_argument("--requests", type=int, default=30_000,
+                       help="target total memory requests")
+    p_sim.add_argument("--instructions", type=int, default=0,
+                       help="override instructions per core")
+    p_sim.add_argument("--seed", type=int, default=42)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run the scheme x workload grid, export JSON"
+    )
+    p_sweep.add_argument("--output", default="-",
+                         help="output path ('-' prints to stdout)")
+    p_sweep.add_argument("--requests", type=int, default=30_000)
+    p_sweep.add_argument("--seed", type=int, default=42)
+    p_sweep.add_argument("--schemes", nargs="*", default=None)
+    p_sweep.add_argument("--workloads", nargs="*", default=None)
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""ReadDuo core: hybrid readout, last-write tracking, selective rewrite.
+
+* :mod:`repro.core.schemes` — all scheme policies and the registry.
+* :mod:`repro.core.lwt` — the Figure 5 flag automaton and the quantized
+  tracker.
+* :mod:`repro.core.conversion` — the adaptive R-M-read conversion
+  throttle.
+* :mod:`repro.core.readout` — a functional ReadDuo controller on real
+  cells (write/read/scrub actual BCH-coded bits).
+* :mod:`repro.core.sampler` — analytic drift-error sampling.
+* :mod:`repro.core.agemodel` — steady-state initial line ages.
+"""
+
+from .agemodel import InitialAgeModel
+from .conversion import AdaptiveConversionController
+from .lwt import LwtLineFlags, QuantizedTracker, lwt_flag_bits
+from .readout import ReadDuoController, ReadMechanism, ReadOutcome
+from .sampler import DriftErrorSampler
+from .schemes import (
+    CORRECTABLE_ERRORS,
+    DETECTABLE_ERRORS,
+    HybridPolicy,
+    IdealPolicy,
+    LwtPolicy,
+    M_SCRUB_INTERVAL_S,
+    MMetricPolicy,
+    PolicyContext,
+    R_SCRUB_INTERVAL_S,
+    SCHEME_NAMES,
+    ScrubbingPolicy,
+    SelectPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "InitialAgeModel",
+    "AdaptiveConversionController",
+    "LwtLineFlags",
+    "QuantizedTracker",
+    "lwt_flag_bits",
+    "ReadDuoController",
+    "ReadMechanism",
+    "ReadOutcome",
+    "DriftErrorSampler",
+    "CORRECTABLE_ERRORS",
+    "DETECTABLE_ERRORS",
+    "HybridPolicy",
+    "IdealPolicy",
+    "LwtPolicy",
+    "M_SCRUB_INTERVAL_S",
+    "MMetricPolicy",
+    "PolicyContext",
+    "R_SCRUB_INTERVAL_S",
+    "SCHEME_NAMES",
+    "ScrubbingPolicy",
+    "SelectPolicy",
+    "make_policy",
+]

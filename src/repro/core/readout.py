@@ -1,0 +1,250 @@
+"""A functional ReadDuo device stack on real cells (no timing model).
+
+The memory-system simulator (:mod:`repro.memsim`) is statistical — it
+samples error *counts* from the analytic model because simulating 134M
+lines cell-by-cell is infeasible. This module is the complementary,
+fully mechanistic implementation: a :class:`ReadDuoController` stores
+real 64-byte payloads in a real :class:`~repro.pcm.array.CellArray`
+(BCH-8 encoded, gray-mapped, 296 cells per line), senses them through
+the drift model, decodes with the real BCH codec, falls back from
+R-sensing to M-sensing exactly as Section III-B prescribes, steers reads
+through the Figure 5 flag automaton, and scrubs with a configurable
+(S, W) policy.
+
+It exists so that the paper's mechanism can be *demonstrated and tested
+end-to-end on actual bits* — see ``examples`` and the integration tests —
+and doubles as a reference model for the statistical policies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ecc.bch import BCHCode, bch8_for_line
+from ..pcm.array import CellArray
+from ..pcm.data import bytes_to_symbols, levels_to_symbols, symbols_to_bytes
+from ..pcm.params import M_METRIC, MetricParams, R_METRIC
+from .lwt import LwtLineFlags
+
+__all__ = ["ReadMechanism", "ReadOutcome", "ReadDuoController"]
+
+#: Cells per line: the 592-bit codeword in 2-bit cells.
+LINE_CELLS = 296
+
+
+class ReadMechanism(enum.Enum):
+    """How a read was ultimately serviced."""
+
+    R_READ = "R-read"
+    RM_READ = "R-M-read"
+    M_READ = "M-read"  # flag-steered direct M-sensing
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of one controller read.
+
+    Attributes:
+        data: The 64-byte payload (None only when FAILED).
+        mechanism: Which sensing path serviced the read.
+        errors_corrected: Bit errors the BCH decoder fixed on the
+            successful pass.
+        r_errors_detected: Errors present at R-sensing (0 when R-sensing
+            was skipped).
+    """
+
+    data: Optional[bytes]
+    mechanism: ReadMechanism
+    errors_corrected: int
+    r_errors_detected: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.mechanism is not ReadMechanism.FAILED
+
+
+def _bits_to_levels(bits: np.ndarray) -> np.ndarray:
+    padded = np.zeros(2 * LINE_CELLS, dtype=np.int64)
+    padded[: bits.size] = bits
+    symbols = (padded[0::2] << 1) | padded[1::2]
+    from ..pcm.data import symbols_to_levels
+
+    return symbols_to_levels(symbols)
+
+
+def _levels_to_bits(levels: np.ndarray, length: int) -> np.ndarray:
+    symbols = levels_to_symbols(levels)
+    bits = np.zeros(2 * LINE_CELLS, dtype=np.uint8)
+    bits[0::2] = (symbols >> 1) & 1
+    bits[1::2] = symbols & 1
+    return bits[:length]
+
+
+class ReadDuoController:
+    """ReadDuo-LWT on a real cell array: write, read, scrub actual bits.
+
+    Args:
+        num_lines: Lines managed by the controller.
+        rng: Randomness for programming noise / drift exponents.
+        k: LWT sub-intervals per scrub interval.
+        scrub_interval_s: The M-metric scrub interval S (640 s default).
+        w: Scrub rewrite policy (1 = rewrite on any detected error).
+        r_params / m_params: Device model overrides.
+        start_time_s: Time of initial (blank) programming.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        rng: Optional[np.random.Generator] = None,
+        k: int = 4,
+        scrub_interval_s: float = 640.0,
+        w: int = 1,
+        r_params: MetricParams = R_METRIC,
+        m_params: MetricParams = M_METRIC,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if w not in (0, 1):
+            raise ValueError("W must be 0 or 1")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.code: BCHCode = bch8_for_line()
+        self.array = CellArray(
+            num_lines,
+            LINE_CELLS,
+            rng=self.rng,
+            r_params=r_params,
+            m_params=m_params,
+            initial_levels=np.zeros((num_lines, LINE_CELLS), dtype=np.int64),
+            start_time_s=start_time_s,
+        )
+        self.k = k
+        self.scrub_interval_s = scrub_interval_s
+        self.sub_len_s = scrub_interval_s / k
+        self.w = w
+        self.flags: Dict[int, LwtLineFlags] = {}
+        self._last_scrub_s: Dict[int, float] = {}
+        self._start_time_s = start_time_s
+        # Statistics.
+        self.stats = {
+            "writes": 0,
+            "reads": 0,
+            "r_reads": 0,
+            "rm_reads": 0,
+            "m_reads": 0,
+            "scrubs": 0,
+            "scrub_rewrites": 0,
+            "failed_reads": 0,
+        }
+
+    # ----------------------------------------------------------------- flags
+
+    def _flags_of(self, line: int) -> LwtLineFlags:
+        flags = self.flags.get(line)
+        if flags is None:
+            flags = LwtLineFlags(k=self.k)
+            self.flags[line] = flags
+        return flags
+
+    def _sub_interval(self, line: int, now_s: float) -> int:
+        """Relative sub-interval since the line's last scrub."""
+        anchor = self._last_scrub_s.get(line, self._start_time_s)
+        return int(max(now_s - anchor, 0.0) // self.sub_len_s)
+
+    # ----------------------------------------------------------------- write
+
+    def write(self, line: int, data: bytes, now_s: float) -> None:
+        """Program a 64-byte payload (BCH-encoded) into ``line``."""
+        if len(data) != 64:
+            raise ValueError("payload must be exactly 64 bytes")
+        payload_bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="big"
+        )
+        codeword = self.code.encode(payload_bits)
+        levels = _bits_to_levels(codeword.astype(np.int64))
+        self.array.write_line(line, levels, now_s)
+        self._flags_of(line).on_write(self._sub_interval(line, now_s))
+        self.stats["writes"] += 1
+
+    # ------------------------------------------------------------------ read
+
+    def read(self, line: int, now_s: float) -> ReadOutcome:
+        """Service a read exactly as ReadDuo-LWT prescribes.
+
+        1. Consult the flags: an un-tracked line skips straight to
+           M-sensing (the "R-M-read" of the paper; here the R-sensing
+           pass carries no information so it is not performed on the
+           data, only accounted by the caller's timing model).
+        2. Tracked lines R-sense and BCH-decode: 0-8 errors correct in
+           place; detected-uncorrectable retries with M-sensing.
+        """
+        self.stats["reads"] += 1
+        tracked = self._flags_of(line).tracked_for_read(
+            self._sub_interval(line, now_s)
+        )
+        if not tracked:
+            outcome = self._sense_and_decode(line, now_s, "M")
+            if outcome is None:
+                self.stats["failed_reads"] += 1
+                return ReadOutcome(None, ReadMechanism.FAILED, 0)
+            data, corrected = outcome
+            self.stats["m_reads"] += 1
+            return ReadOutcome(data, ReadMechanism.M_READ, corrected)
+
+        r_result = self._sense_and_decode(line, now_s, "R", return_errors=True)
+        if r_result is not None:
+            data, corrected = r_result
+            self.stats["r_reads"] += 1
+            return ReadOutcome(
+                data, ReadMechanism.R_READ, corrected, r_errors_detected=corrected
+            )
+        # R-sensing failed BCH correction: fall back to M-sensing.
+        m_result = self._sense_and_decode(line, now_s, "M")
+        if m_result is None:
+            self.stats["failed_reads"] += 1
+            return ReadOutcome(None, ReadMechanism.FAILED, 0)
+        data, corrected = m_result
+        self.stats["rm_reads"] += 1
+        return ReadOutcome(data, ReadMechanism.RM_READ, corrected)
+
+    def _sense_and_decode(
+        self, line: int, now_s: float, metric: str, return_errors: bool = False
+    ):
+        sensed = self.array.read_line(line, now_s, metric).sensed_levels
+        received = _levels_to_bits(sensed, self.code.n)
+        result = self.code.decode(received)
+        if not result.ok:
+            return None
+        data = np.packbits(result.data_bits, bitorder="big").tobytes()
+        return data, result.errors_corrected
+
+    # ----------------------------------------------------------------- scrub
+
+    def scrub_line(self, line: int, now_s: float) -> bool:
+        """Scrub one line with M-sensing; returns True when rewritten."""
+        self.stats["scrubs"] += 1
+        sensed = self.array.read_line(line, now_s, "M")
+        rewrite = self.w == 0 or sensed.cell_errors >= max(self.w, 1)
+        if rewrite:
+            # Correct through ECC, then rewrite all cells.
+            received = _levels_to_bits(sensed.sensed_levels, self.code.n)
+            decoded = self.code.decode(received)
+            if decoded.ok:
+                codeword = self.code.encode(decoded.data_bits)
+                self.array.write_line(
+                    line, _bits_to_levels(codeword.astype(np.int64)), now_s
+                )
+            else:  # beyond correction: refresh stored levels as-is
+                self.array.rewrite_line_in_place(line, now_s)
+            self.stats["scrub_rewrites"] += 1
+        self._flags_of(line).on_scrub(rewrote=rewrite)
+        self._last_scrub_s[line] = now_s
+        return rewrite
+
+    def scrub_sweep(self, now_s: float) -> int:
+        """Scrub every line; returns the number rewritten."""
+        return sum(self.scrub_line(line, now_s) for line in range(self.array.num_lines))

@@ -1,0 +1,78 @@
+"""Fast per-read drift-error sampling for the simulator.
+
+Simulating 134M lines cell-by-cell is infeasible, so the engine samples
+each access's drift-error count from the *analytic* per-cell probability
+(:mod:`repro.reliability.drift_prob`) — the same model that reproduces the
+paper's Tables III/IV — evaluated at the line's age and fed through a
+binomial draw. Probabilities are precomputed on a log-age grid once per
+metric and interpolated; ages with negligible error probability skip the
+RNG entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..pcm.params import M_METRIC, MetricParams, R_METRIC
+from ..reliability.drift_prob import mean_cell_error_probability
+
+__all__ = ["DriftErrorSampler"]
+
+
+class DriftErrorSampler:
+    """Samples line drift-error counts as a function of line age.
+
+    Args:
+        cells_per_line: Data cells whose errors the ECC must handle.
+        rng: Randomness source (one per policy keeps runs reproducible).
+        r_params / m_params: Metric models.
+        age_grid_lo_s / age_grid_hi_s: Age range covered by the grid; ages
+            outside are clamped.
+        grid_points: Log-spaced grid resolution.
+        negligible_expected_errors: Skip sampling when the expected error
+            count is below this (the draw would be 0 with probability
+            ``> 1 - negligible``).
+    """
+
+    def __init__(
+        self,
+        cells_per_line: int = 256,
+        rng: Optional[np.random.Generator] = None,
+        r_params: MetricParams = R_METRIC,
+        m_params: MetricParams = M_METRIC,
+        age_grid_lo_s: float = 1.0,
+        age_grid_hi_s: float = 1.0e8,
+        grid_points: int = 160,
+        negligible_expected_errors: float = 1.0e-7,
+    ) -> None:
+        self.cells = cells_per_line
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._negligible_p = negligible_expected_errors / cells_per_line
+        self._log_lo = np.log10(age_grid_lo_s)
+        self._log_hi = np.log10(age_grid_hi_s)
+        self._grid = np.logspace(self._log_lo, self._log_hi, grid_points)
+        self._log_grid = np.log10(self._grid)
+        self._p_r = np.asarray(mean_cell_error_probability(r_params, self._grid))
+        self._p_m = np.asarray(mean_cell_error_probability(m_params, self._grid))
+
+    def cell_error_probability(self, age_s: float, metric: str = "R") -> float:
+        """Interpolated per-cell error probability at ``age_s``."""
+        table = self._p_r if metric == "R" else self._p_m
+        if age_s <= self._grid[0]:
+            return float(table[0])
+        if age_s >= self._grid[-1]:
+            return float(table[-1])
+        return float(np.interp(np.log10(age_s), self._log_grid, table))
+
+    def sample_errors(self, age_s: float, metric: str = "R") -> int:
+        """Draw the number of drifted cells in one line of age ``age_s``."""
+        p = self.cell_error_probability(age_s, metric)
+        if p <= self._negligible_p:
+            return 0
+        return int(self.rng.binomial(self.cells, p))
+
+    def expected_errors(self, age_s: float, metric: str = "R") -> float:
+        """Mean drifted-cell count at ``age_s`` (no sampling)."""
+        return self.cells * self.cell_error_probability(age_s, metric)

@@ -1,0 +1,24 @@
+"""Error-correction substrate: GF(2^m), binary BCH, and (72,64) SECDED.
+
+* :mod:`repro.ecc.gf` — finite-field arithmetic with exp/log tables.
+* :mod:`repro.ecc.bch` — the shortened (592, 512) BCH-8 line code with
+  decoupled detection/correction, plus arbitrary (t, k) construction.
+* :mod:`repro.ecc.secded` — the TLC baseline's per-word SECDED.
+"""
+
+from .bch import BCHCode, DecodeResult, DecodeStatus, bch8_for_line
+from .gf import GF2m, PRIMITIVE_POLYS, get_field
+from .secded import Secded7264, SecdedResult, SecdedStatus
+
+__all__ = [
+    "BCHCode",
+    "DecodeResult",
+    "DecodeStatus",
+    "bch8_for_line",
+    "GF2m",
+    "PRIMITIVE_POLYS",
+    "get_field",
+    "Secded7264",
+    "SecdedResult",
+    "SecdedStatus",
+]

@@ -1,0 +1,290 @@
+"""Binary BCH encoder/decoder with decoupled detection and correction.
+
+The ReadDuo memory line attaches a shortened binary BCH code to 512 data
+bits: for ``t = 8`` over GF(2^10) the code is a (592, 512) shortening of
+the (1023, 943) BCH code. The decoder implements the classic pipeline —
+syndromes, Berlekamp–Massey, Chien search — and, crucially for
+ReadDuo-Hybrid, *reports* rather than hides the uncorrectable-but-detected
+outcome: the paper exploits BCH-8's ability to detect up to
+``2t + 1 = 17`` errors to decide when an R-read must be retried with
+M-sensing (Section III-B).
+
+Bit convention: bit ``i`` of a codeword is the coefficient of ``x^i``.
+Systematic layout: check bits occupy positions ``0 .. r-1``, data bits
+``r .. r+k-1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .gf import GF2m, get_field
+
+__all__ = ["BCHCode", "DecodeStatus", "DecodeResult", "bch8_for_line"]
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of a BCH decode attempt."""
+
+    #: Zero syndrome or all errors corrected (<= t).
+    CORRECTED = "corrected"
+    #: More than t errors, but the decoder noticed (<= 2t+1 errors always
+    #: land here; beyond that detection is probabilistic).
+    DETECTED_UNCORRECTABLE = "detected-uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding a received word.
+
+    Attributes:
+        status: Whether correction succeeded.
+        data_bits: The decoded data payload (valid only when corrected).
+        errors_corrected: Number of bit errors fixed (0 when clean).
+        error_positions: Codeword bit positions that were flipped back.
+    """
+
+    status: DecodeStatus
+    data_bits: Optional[np.ndarray]
+    errors_corrected: int
+    error_positions: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is DecodeStatus.CORRECTED
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    """Pack a little-endian bit array (bit i = x^i coefficient) into an int."""
+    value = 0
+    for i in np.nonzero(np.asarray(bits, dtype=np.uint8))[0]:
+        value |= 1 << int(i)
+    return value
+
+
+def _int_to_bits(value: int, length: int) -> np.ndarray:
+    out = np.zeros(length, dtype=np.uint8)
+    i = 0
+    while value and i < length:
+        if value & 1:
+            out[i] = 1
+        value >>= 1
+        i += 1
+    return out
+
+
+def _poly_mod(dividend: int, divisor: int) -> int:
+    """Remainder of GF(2) polynomial division on integer bit masks."""
+    deg_divisor = divisor.bit_length() - 1
+    deg = dividend.bit_length() - 1
+    while deg >= deg_divisor and dividend:
+        dividend ^= divisor << (deg - deg_divisor)
+        deg = dividend.bit_length() - 1
+    return dividend
+
+
+class BCHCode:
+    """A systematic, shortened binary BCH code correcting ``t`` errors.
+
+    Args:
+        t: Error-correction capability.
+        data_bits: Payload length ``k`` (the code is shortened to
+            ``k + r`` bits, ``r`` = degree of the generator polynomial).
+        m: Field degree; chosen automatically (smallest field whose
+            codeword length accommodates the payload) when omitted.
+    """
+
+    def __init__(self, t: int, data_bits: int, m: Optional[int] = None) -> None:
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        if data_bits < 1:
+            raise ValueError("data_bits must be >= 1")
+        self.t = t
+        self.k = data_bits
+        if m is None:
+            m = 3
+            while (1 << m) - 1 < data_bits + t * m:
+                m += 1
+        self.field: GF2m = get_field(m)
+        self.m = m
+        self.n_full = self.field.order  # full (unshortened) length
+
+        # Generator polynomial: lcm of the minimal polynomials of
+        # alpha^1 .. alpha^(2t). Conjugate powers share a minimal
+        # polynomial, so collect distinct ones.
+        seen = set()
+        generator = 1
+        for power in range(1, 2 * t + 1):
+            mp = self.field.minimal_polynomial(power)
+            if mp not in seen:
+                seen.add(mp)
+                generator = self._gf2_poly_mul(generator, mp)
+        self.generator = generator
+        self.r = generator.bit_length() - 1  # check bits
+        self.n = self.k + self.r  # shortened codeword length
+        if self.n > self.n_full:
+            raise ValueError(
+                f"payload too large: need {self.n} bits, field allows {self.n_full}"
+            )
+
+    @staticmethod
+    def _gf2_poly_mul(a: int, b: int) -> int:
+        out = 0
+        shift = 0
+        while b:
+            if b & 1:
+                out ^= a << shift
+            b >>= 1
+            shift += 1
+        return out
+
+    # ---------------------------------------------------------------- encode
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data bits into an ``n``-bit systematic codeword.
+
+        Args:
+            data: Bit array of length ``k`` (0/1 values).
+
+        Returns:
+            Codeword bit array: ``[check bits (r)] + [data bits (k)]``.
+        """
+        bits = np.asarray(data).astype(np.uint8)
+        if bits.shape != (self.k,):
+            raise ValueError(f"expected {self.k} data bits, got {bits.shape}")
+        data_int = _bits_to_int(bits)
+        remainder = _poly_mod(data_int << self.r, self.generator)
+        codeword = (data_int << self.r) | remainder
+        return _int_to_bits(codeword, self.n)
+
+    def extract_data(self, codeword: np.ndarray) -> np.ndarray:
+        """The data payload of a (possibly corrected) codeword."""
+        cw = np.asarray(codeword).astype(np.uint8)
+        if cw.shape != (self.n,):
+            raise ValueError(f"expected {self.n} codeword bits")
+        return cw[self.r :].copy()
+
+    # ---------------------------------------------------------------- decode
+
+    def syndromes(self, received: np.ndarray) -> List[int]:
+        """Syndromes ``S_j = r(alpha^j)`` for ``j = 1 .. 2t``."""
+        cw = np.asarray(received).astype(np.uint8)
+        if cw.shape != (self.n,):
+            raise ValueError(f"expected {self.n} codeword bits")
+        positions = np.nonzero(cw)[0]
+        field = self.field
+        out = []
+        for j in range(1, 2 * self.t + 1):
+            s = 0
+            for i in positions:
+                s ^= field.exp(int(i) * j)
+            out.append(s)
+        return out
+
+    def count_detected_errors(self, received: np.ndarray) -> int:
+        """Best-effort error count used by the ReadDuo readout controller.
+
+        Returns the number of errors the decoder believes are present:
+        0 for a clean word, the Berlekamp–Massey degree when correction
+        succeeds, and ``2t + 1`` (one past the correction+detection range)
+        when the word is detected-uncorrectable.
+        """
+        result = self.decode(received)
+        if result.ok:
+            return result.errors_corrected
+        return 2 * self.t + 1
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Full decode: syndromes -> Berlekamp–Massey -> Chien search."""
+        synd = self.syndromes(received)
+        if not any(synd):
+            data = self.extract_data(received)
+            return DecodeResult(DecodeStatus.CORRECTED, data, 0)
+
+        sigma = self._berlekamp_massey(synd)
+        degree = len(sigma) - 1
+        if degree > self.t:
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, None, 0)
+
+        positions = self._chien_search(sigma)
+        if positions is None or len(positions) != degree:
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, None, 0)
+
+        corrected = np.asarray(received).astype(np.uint8).copy()
+        for pos in positions:
+            corrected[pos] ^= 1
+        # Re-verify: a miscorrection beyond design distance could leave a
+        # nonzero syndrome; treat that as detected.
+        if any(self.syndromes(corrected)):
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, None, 0)
+        return DecodeResult(
+            DecodeStatus.CORRECTED,
+            self.extract_data(corrected),
+            len(positions),
+            tuple(sorted(int(p) for p in positions)),
+        )
+
+    def _berlekamp_massey(self, synd: List[int]) -> List[int]:
+        """Error-locator polynomial sigma(x), lowest degree first."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        l = 0  # current LFSR length
+        shift = 1  # steps since prev_sigma was saved
+        prev_discrepancy = 1
+        for step, s in enumerate(synd):
+            # Discrepancy for this step.
+            d = s
+            for i in range(1, l + 1):
+                if i < len(sigma) and sigma[i]:
+                    d ^= field.mul(sigma[i], synd[step - i])
+            if d == 0:
+                shift += 1
+                continue
+            scale = field.div(d, prev_discrepancy)
+            correction = [0] * shift + [field.mul(scale, c) for c in prev_sigma]
+            new_sigma = list(sigma) + [0] * max(0, len(correction) - len(sigma))
+            for i, c in enumerate(correction):
+                new_sigma[i] ^= c
+            if 2 * l <= step:
+                prev_sigma = sigma
+                prev_discrepancy = d
+                l = step + 1 - l
+                shift = 1
+            else:
+                shift += 1
+            sigma = new_sigma
+        # Trim trailing zeros.
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> Optional[List[int]]:
+        """Roots of sigma(x) as error positions within the shortened word.
+
+        An error at position ``i`` contributes locator ``X = alpha^i``; a
+        root of sigma at ``x = X^-1 = alpha^(order - i)``. Returns ``None``
+        when any root points outside the shortened length (the error
+        pattern cannot come from <= t errors in the transmitted word).
+        """
+        field = self.field
+        positions: List[int] = []
+        degree = len(sigma) - 1
+        for i in range(self.n_full):
+            x = field.exp(field.order - i if i else 0)
+            if field.poly_eval(sigma, x) == 0:
+                if i >= self.n:
+                    return None
+                positions.append(i)
+                if len(positions) == degree:
+                    break
+        return positions
+
+
+def bch8_for_line(data_bits: int = 512) -> BCHCode:
+    """The paper's line code: BCH-8 over a 512-bit payload (592, 512)."""
+    return BCHCode(t=8, data_bits=data_bits)

@@ -1,0 +1,115 @@
+"""(72, 64) Hamming SECDED code — the TLC baseline's per-word protection.
+
+The tri-level-cell design [26] removes the drift-prone state, so its error
+rate is low enough for classic single-error-correct / double-error-detect
+protection per 64-bit word. This is an extended Hamming code: 7 Hamming
+check bits (positions 1, 2, 4, ..., 64 in the 1-indexed Hamming layout)
+plus one overall parity bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Secded7264", "SecdedStatus", "SecdedResult"]
+
+
+class SecdedStatus(enum.Enum):
+    """Outcome of a SECDED decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_DOUBLE = "detected-double"
+
+
+@dataclass(frozen=True)
+class SecdedResult:
+    """Decoded word plus what the decoder did.
+
+    Attributes:
+        status: Clean, single-error corrected, or double-error detected.
+        data_bits: 64 decoded bits (None when a double error is detected).
+        corrected_position: Codeword index fixed for single errors.
+    """
+
+    status: SecdedStatus
+    data_bits: Optional[np.ndarray]
+    corrected_position: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not SecdedStatus.DETECTED_DOUBLE
+
+
+class Secded7264:
+    """Encoder/decoder for the (72, 64) extended Hamming code.
+
+    Codeword layout (0-indexed): positions follow the classic 1-indexed
+    Hamming arrangement in slots 1..71 (powers of two are check bits),
+    with slot 0 holding the overall parity over all other 71 bits.
+    """
+
+    CODE_BITS = 72
+    DATA_BITS = 64
+    _CHECK_SLOTS = (1, 2, 4, 8, 16, 32, 64)
+
+    def __init__(self) -> None:
+        self._data_slots = [
+            i
+            for i in range(1, self.CODE_BITS)
+            if i not in self._CHECK_SLOTS
+        ]
+        if len(self._data_slots) != self.DATA_BITS:
+            raise AssertionError("layout error in SECDED construction")
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode 64 data bits into a 72-bit codeword."""
+        bits = np.asarray(data).astype(np.uint8)
+        if bits.shape != (self.DATA_BITS,):
+            raise ValueError(f"expected {self.DATA_BITS} data bits")
+        cw = np.zeros(self.CODE_BITS, dtype=np.uint8)
+        cw[self._data_slots] = bits
+        for check in self._CHECK_SLOTS:
+            parity = 0
+            for slot in range(1, self.CODE_BITS):
+                if slot & check and slot not in self._CHECK_SLOTS:
+                    parity ^= int(cw[slot])
+            cw[check] = parity
+        cw[0] = int(cw[1:].sum()) & 1
+        return cw
+
+    def decode(self, received: np.ndarray) -> SecdedResult:
+        """Decode a 72-bit word, correcting singles and detecting doubles."""
+        cw = np.asarray(received).astype(np.uint8)
+        if cw.shape != (self.CODE_BITS,):
+            raise ValueError(f"expected {self.CODE_BITS} codeword bits")
+        syndrome = 0
+        for check in self._CHECK_SLOTS:
+            parity = 0
+            for slot in range(1, self.CODE_BITS):
+                if slot & check:
+                    parity ^= int(cw[slot])
+            if parity:
+                syndrome |= check
+        overall = int(cw.sum()) & 1
+
+        if syndrome == 0 and overall == 0:
+            return SecdedResult(SecdedStatus.CLEAN, cw[self._data_slots].copy())
+        if syndrome != 0 and overall == 1:
+            # Single error at `syndrome` (check or data slot).
+            if syndrome >= self.CODE_BITS:
+                return SecdedResult(SecdedStatus.DETECTED_DOUBLE, None)
+            fixed = cw.copy()
+            fixed[syndrome] ^= 1
+            return SecdedResult(
+                SecdedStatus.CORRECTED, fixed[self._data_slots].copy(), syndrome
+            )
+        if syndrome == 0 and overall == 1:
+            # The overall parity bit itself flipped.
+            return SecdedResult(SecdedStatus.CORRECTED, cw[self._data_slots].copy(), 0)
+        # syndrome != 0 and overall == 0 -> double error.
+        return SecdedResult(SecdedStatus.DETECTED_DOUBLE, None)

@@ -1,0 +1,250 @@
+"""Ablations of this reproduction's own design choices.
+
+Beyond the paper's sensitivity studies (Figures 12-14), DESIGN.md commits
+to three modeling decisions worth isolating:
+
+* **Scrub channel contention** — scrub operations stream through the
+  bridge chip and occupy the shared rank channel. Turning that off
+  (`scrub_blocks_channel=False`) gives the optimistic bound where
+  scrubbing is free bandwidth-wise, which is what makes short-interval
+  scrubbing look cheap in naive models.
+* **Write cancellation** [18] — demand reads may cancel an in-flight
+  write below a progress threshold. Disabling it exposes how much of the
+  read latency tail comes from blocking behind 1000 ns writes.
+* **Conversion throttle** — the adaptive T controller vs fixed-T
+  extremes (always convert / never convert) on a cold-read workload.
+* **Write truncation** [11] — the cited MLC write-latency optimization
+  layered onto a ReadDuo scheme (complementary, per related work).
+
+Each driver returns an :class:`~repro.experiments.report.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.schemes import LwtPolicy, PolicyContext, make_policy
+from ..memsim.config import MemoryConfig
+from ..memsim.engine import simulate
+from ..traces.generator import generate_trace
+from ..traces.spec import instructions_for_requests, workload
+from .report import ExperimentResult, geometric_mean
+
+__all__ = [
+    "ablation_scrub_contention",
+    "ablation_write_cancellation",
+    "ablation_conversion_throttle",
+    "ablation_write_truncation",
+]
+
+_DEFAULT_WORKLOADS = ("mcf", "lbm", "gcc")
+
+
+def _trace_for(profile, target_requests: int, config: MemoryConfig, seed: int):
+    return generate_trace(
+        profile,
+        instructions_per_core=instructions_for_requests(
+            profile, target_requests, config.num_cores
+        ),
+        num_cores=config.num_cores,
+        seed=seed,
+    )
+
+
+def ablation_scrub_contention(
+    target_requests: int = 8_000,
+    workloads: Sequence[str] = _DEFAULT_WORKLOADS,
+    scheme: str = "Scrubbing",
+    seed: int = 42,
+) -> ExperimentResult:
+    """Execution-time cost of scrub traffic with/without channel blocking."""
+    rows = []
+    for name in workloads:
+        profile = workload(name)
+        row = [name]
+        for blocks in (True, False):
+            config = MemoryConfig(scrub_blocks_channel=blocks)
+            trace = _trace_for(profile, target_requests, config, seed)
+            ideal = simulate(
+                trace,
+                make_policy("Ideal", PolicyContext(profile=profile, config=config)),
+                config,
+            )
+            stats = simulate(
+                trace,
+                make_policy(scheme, PolicyContext(profile=profile, config=config)),
+                config,
+            )
+            row.append(stats.execution_time_ns / ideal.execution_time_ns)
+        rows.append(row)
+    rows.append(
+        ["geomean"]
+        + [
+            geometric_mean([row[i] for row in rows])
+            for i in (1, 2)
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="ablation-scrub-contention",
+        title=f"{scheme}: scrub channel contention on vs off (norm. exec time)",
+        headers=["workload", "contending scrub", "free scrub"],
+        rows=rows,
+        notes=(
+            "With contention disabled the scrub engine costs nothing on "
+            "the critical path — the optimistic model under which the "
+            "paper's Scrubbing baseline would look (wrongly) harmless."
+        ),
+    )
+
+
+def ablation_write_cancellation(
+    target_requests: int = 8_000,
+    workloads: Sequence[str] = _DEFAULT_WORKLOADS,
+    scheme: str = "Ideal",
+    seed: int = 42,
+) -> ExperimentResult:
+    """Read-latency impact of write cancellation [18]."""
+    rows = []
+    for name in workloads:
+        profile = workload(name)
+        row = [name]
+        cancelled = 0
+        for threshold in (0.5, 0.0):
+            config = MemoryConfig(cancel_threshold=threshold)
+            trace = _trace_for(profile, target_requests, config, seed)
+            stats = simulate(
+                trace,
+                make_policy(scheme, PolicyContext(profile=profile, config=config)),
+                config,
+            )
+            row.append(stats.avg_read_latency_ns)
+            if threshold > 0:
+                cancelled = stats.cancelled_writes
+        row.append(cancelled)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="ablation-write-cancellation",
+        title="Write cancellation on vs off (mean read latency, ns)",
+        headers=["workload", "with cancellation", "without", "writes cancelled"],
+        rows=rows,
+        notes=(
+            "Cancellation bounds the time a read can block behind an "
+            "in-flight 1000 ns write; write-heavy workloads (lbm) benefit "
+            "most."
+        ),
+    )
+
+
+def ablation_conversion_throttle(
+    target_requests: int = 8_000,
+    workload_name: str = "sphinx3",
+    seed: int = 42,
+    settings: Optional[Sequence] = None,
+) -> ExperimentResult:
+    """Adaptive T vs fixed extremes on a cold-read workload."""
+    profile = workload(workload_name)
+    config = MemoryConfig()
+    trace = _trace_for(profile, target_requests, config, seed)
+    ideal = simulate(
+        trace,
+        make_policy("Ideal", PolicyContext(profile=profile, config=config)),
+        config,
+    )
+    variants = settings or (
+        ("adaptive (paper)", None),
+        ("never convert (T=0)", 0),
+        ("always convert (T=100)", 100),
+    )
+    rows = []
+    for label, fixed_t in variants:
+        policy = make_policy(
+            "LWT-4", PolicyContext(profile=profile, config=config, seed=seed)
+        )
+        assert isinstance(policy, LwtPolicy)
+        if fixed_t is not None:
+            policy.conversion.t = fixed_t
+            policy.conversion.step = 0 if fixed_t in (0, 100) else policy.conversion.step
+            # Freeze the controller at the fixed ratio.
+            policy.conversion.enabled = fixed_t > 0
+            policy.conversion.record_read = lambda untracked: None
+        stats = simulate(trace, policy, config)
+        rows.append(
+            [
+                label,
+                stats.execution_time_ns / ideal.execution_time_ns,
+                stats.dynamic_energy_pj / ideal.dynamic_energy_pj,
+                ideal.total_cell_writes / max(stats.total_cell_writes, 1),
+                stats.conversions,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-conversion-throttle",
+        title=f"Conversion throttle variants on {workload_name}",
+        headers=["variant", "exec", "energy", "lifetime", "conversions"],
+        rows=rows,
+        notes=(
+            "Always-converting is fastest but burns endurance on writes; "
+            "never converting leaves every cold read on the 600 ns "
+            "R-M-read path; the adaptive controller sits between, which "
+            "is the paper's Section III-C design intent."
+        ),
+    )
+
+
+def ablation_write_truncation(
+    target_requests: int = 8_000,
+    workloads: Sequence[str] = ("lbm", "mcf", "bzip2"),
+    scheme: str = "Select-4:2",
+    seed: int = 42,
+) -> ExperimentResult:
+    """Write truncation [11] layered onto a ReadDuo scheme.
+
+    Truncating converged program-and-verify sequences shortens writes,
+    which shrinks both write-queue pressure and the window in which
+    demand reads block behind writes — complementary to ReadDuo, as the
+    paper's related-work section suggests.
+    """
+    from ..core.truncation import WriteTruncationWrapper
+
+    config = MemoryConfig()
+    rows = []
+    for name in workloads:
+        profile = workload(name)
+        trace = _trace_for(profile, target_requests, config, seed)
+        ideal = simulate(
+            trace,
+            make_policy("Ideal", PolicyContext(profile=profile, config=config)),
+            config,
+        )
+        plain = simulate(
+            trace,
+            make_policy(
+                scheme, PolicyContext(profile=profile, config=config, seed=seed)
+            ),
+            config,
+        )
+        truncated_policy = WriteTruncationWrapper(
+            make_policy(
+                scheme, PolicyContext(profile=profile, config=config, seed=seed)
+            )
+        )
+        truncated = simulate(trace, truncated_policy, config)
+        rows.append(
+            [
+                name,
+                plain.execution_time_ns / ideal.execution_time_ns,
+                truncated.execution_time_ns / ideal.execution_time_ns,
+                truncated_policy.truncated_writes,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-write-truncation",
+        title=f"{scheme} with and without write truncation (norm. exec time)",
+        headers=["workload", "full writes", "truncated writes", "writes truncated"],
+        rows=rows,
+        notes=(
+            "Truncation scales each write's P&V latency by a converged "
+            "fraction (~0.7 for full lines, less for differential writes "
+            "that target fewer cells)."
+        ),
+    )

@@ -1,0 +1,86 @@
+"""Figure 1 — MLC resistance distributions and drift errors.
+
+Programs a large cell population with uniform random data, lets it age,
+and reports each level's distribution statistics and the fraction of
+cells that drifted across their upper read reference — the Monte-Carlo
+rendering of the paper's Figure 1, cross-checked against the analytic
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pcm.array import CellArray
+from ...pcm.params import GRAY_LEVEL_TO_BITS, NUM_LEVELS, R_METRIC
+from ...reliability.drift_prob import level_error_probability
+from ..report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    age_s: float = 640.0,
+    num_lines: int = 512,
+    cells_per_line: int = 256,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Reproduce Figure 1: per-level drift at ``age_s`` seconds.
+
+    Args:
+        age_s: Cell age at the observation instant (t in the figure).
+        num_lines / cells_per_line: Population size.
+        seed: Monte-Carlo seed.
+    """
+    rng = np.random.default_rng(seed)
+    array = CellArray(
+        num_lines=num_lines, cells_per_line=cells_per_line, rng=rng, start_time_s=0.0
+    )
+    values_t0 = array.log10_r0
+    values_t = array.log10_r0 + array.alpha_r * np.log10(max(age_s, 1.0))
+    rows = []
+    for level in range(NUM_LEVELS):
+        mask = array.levels == level
+        v0 = values_t0[mask]
+        vt = values_t[mask]
+        if level < NUM_LEVELS - 1:
+            boundary = R_METRIC.upper_boundary(level)
+            drifted = float(np.mean(vt > boundary))
+            analytic = float(level_error_probability(R_METRIC, level, age_s))
+        else:
+            drifted, analytic = 0.0, 0.0
+        rows.append(
+            [
+                level,
+                format(GRAY_LEVEL_TO_BITS[level], "02b"),
+                float(v0.mean()),
+                float(v0.std()),
+                float(vt.mean()),
+                float(vt.std()),
+                drifted,
+                analytic,
+            ]
+        )
+    notes = (
+        f"Population of {num_lines * cells_per_line} cells observed "
+        f"{age_s:g} s after programming. The dashed-line effect of the "
+        "paper's figure is the mean shift and widening at time t; 'drifted' "
+        "is the fraction past the upper read reference (empirical vs "
+        "analytic)."
+    )
+    return ExperimentResult(
+        experiment_id="figure1",
+        title="MLC PCM resistance distributions and drift errors",
+        headers=[
+            "level",
+            "data",
+            "mean log10R @t0",
+            "std @t0",
+            "mean log10R @t",
+            "std @t",
+            "drifted (MC)",
+            "drifted (analytic)",
+        ],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,89 @@
+"""Result containers and plain-text rendering for experiment drivers.
+
+Every table and figure driver returns an :class:`ExperimentResult` — a
+titled grid of rows plus free-form notes — which renders to an aligned
+ASCII table. Figures are reported as the data series behind the plot
+(workload on the rows, scheme on the columns), which is the form the
+paper-vs-measured comparison in EXPERIMENTS.md needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["ExperimentResult", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell formatting (scientific for small floats)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """A titled grid of results with provenance notes.
+
+    Attributes:
+        experiment_id: Short id, e.g. ``"table3"`` or ``"figure9"``.
+        title: Human title matching the paper artifact.
+        headers: Column names.
+        rows: Data rows (any formattable values).
+        notes: Provenance/assumption notes appended to the rendering.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> List[object]:
+        """The first row whose ``key_column`` equals ``key``."""
+        idx = self.headers.index(key_column)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[format_value(h) for h in self.headers]]
+        cells.extend([format_value(v) for v in row] for row in self.rows)
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes.strip())
+        return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper's cross-workload avg)."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ValueError("geometric mean of no positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

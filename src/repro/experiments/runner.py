@@ -1,0 +1,116 @@
+"""Shared simulation sweeps for the figure experiments.
+
+Figures 9/10/11/12/13/14/15 all consume the same underlying data: every
+scheme run on every workload's trace. :func:`run_sweep` produces that grid
+once and memoizes it per :class:`SweepSettings`, so regenerating all
+figures costs one sweep.
+
+Trace lengths adapt to each workload's memory intensity
+(:func:`repro.traces.spec.instructions_for_requests`) so light and heavy
+benchmarks contribute comparable request counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..core.schemes import PolicyContext, make_policy
+from ..memsim.config import MemoryConfig
+from ..memsim.engine import simulate
+from ..memsim.stats import RunStats
+from ..traces.generator import generate_trace
+from ..traces.spec import instructions_for_requests, workload, workload_names
+
+__all__ = ["SweepSettings", "ALL_SCHEMES", "run_sweep", "clear_sweep_cache"]
+
+#: Every scheme any figure needs, in presentation order.
+ALL_SCHEMES: Tuple[str, ...] = (
+    "Ideal",
+    "Scrubbing",
+    "M-metric",
+    "TLC",
+    "Hybrid",
+    "LWT-2",
+    "LWT-4",
+    "LWT-4-noconv",
+    "Select-4:1",
+    "Select-4:2",
+)
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Parameters identifying one scheme x workload sweep.
+
+    Attributes:
+        schemes: Scheme names to simulate.
+        workloads: Benchmark names (default: all 14).
+        target_requests: Total memory requests per trace (trace length
+            adapts to each workload's MPKI).
+        seed: Trace/policy seed; one seed keeps comparisons paired.
+        config: Memory-system configuration.
+    """
+
+    schemes: Tuple[str, ...] = ALL_SCHEMES
+    workloads: Tuple[str, ...] = ()
+    target_requests: int = 30_000
+    seed: int = 42
+    config: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def effective_workloads(self) -> Tuple[str, ...]:
+        return self.workloads if self.workloads else workload_names()
+
+    def quick(self, target_requests: int = 4_000) -> "SweepSettings":
+        """A cheaper copy for tests and smoke runs."""
+        return SweepSettings(
+            schemes=self.schemes,
+            workloads=self.workloads,
+            target_requests=target_requests,
+            seed=self.seed,
+            config=self.config,
+        )
+
+
+_SWEEP_CACHE: Dict[SweepSettings, Dict[str, Dict[str, RunStats]]] = {}
+
+
+def run_sweep(settings: SweepSettings) -> Mapping[str, Mapping[str, RunStats]]:
+    """Simulate every (workload, scheme) pair; memoized per settings.
+
+    Returns:
+        ``{workload: {scheme: RunStats}}``. The returned mapping is shared
+        across callers — treat it as read-only.
+    """
+    cached = _SWEEP_CACHE.get(settings)
+    if cached is not None:
+        return cached
+    grid: Dict[str, Dict[str, RunStats]] = {}
+    for name in settings.effective_workloads():
+        profile = workload(name)
+        instructions = instructions_for_requests(
+            profile, settings.target_requests, settings.config.num_cores
+        )
+        trace = generate_trace(
+            profile,
+            instructions_per_core=instructions,
+            num_cores=settings.config.num_cores,
+            seed=settings.seed,
+        )
+        per_scheme: Dict[str, RunStats] = {}
+        for scheme in settings.schemes:
+            policy = make_policy(
+                scheme,
+                PolicyContext(
+                    profile=profile, config=settings.config, seed=settings.seed
+                ),
+            )
+            per_scheme[scheme] = simulate(trace, policy, settings.config)
+        grid[name] = per_scheme
+    _SWEEP_CACHE[settings] = grid
+    return grid
+
+
+def clear_sweep_cache() -> None:
+    """Drop memoized sweeps (tests use this to control memory)."""
+    _SWEEP_CACHE.clear()

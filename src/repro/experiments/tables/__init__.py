@@ -1,0 +1,25 @@
+"""Paper-table drivers (one module per table)."""
+
+from . import (  # noqa: F401
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table7,
+    table8,
+    table9,
+    table10,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+]

@@ -1,0 +1,53 @@
+"""Table I — R-metric configuration of four-level MLCs (t0 = 1 s)."""
+
+from __future__ import annotations
+
+from ...pcm.params import GRAY_LEVEL_TO_BITS, NUM_LEVELS, R_METRIC, MetricParams
+from ..report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _metric_table(
+    experiment_id: str, title: str, params: MetricParams
+) -> ExperimentResult:
+    rows = []
+    for level in range(NUM_LEVELS):
+        rows.append(
+            [
+                level,
+                format(GRAY_LEVEL_TO_BITS[level], "02b"),
+                params.mu[level],
+                params.sigma,
+                params.mu_alpha[level],
+                params.sigma_alpha[level],
+            ]
+        )
+    notes = (
+        f"t0 = {params.t0:g} s; programmed range mu +/- "
+        f"{params.program_width_sigma} sigma; read references at mu + "
+        f"{params.boundary_sigma} sigma: "
+        + ", ".join(f"10^{t:g}" for t in params.thresholds)
+        + f"; line read latency {params.read_latency_ns:g} ns."
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=[
+            "level",
+            "data",
+            f"mu(log10 {params.name})",
+            "sigma",
+            "mu_alpha",
+            "sigma_alpha",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table I from the model constants."""
+    return _metric_table(
+        "table1", "R-metric configuration of four-level MLCs", R_METRIC
+    )

@@ -1,0 +1,32 @@
+"""Table IV — line error rate vs (ECC strength, scrub interval), M-metric.
+
+The paper's point: with BCH-8, M-sensing meets the DRAM budget at
+S = 640 s with enormous margin (relaxable well past 2^14 s).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...pcm.params import M_METRIC
+from ..report import ExperimentResult
+from .table3 import PAPER_STRENGTHS, _ler_experiment
+
+__all__ = ["run", "M_INTERVALS"]
+
+#: M-sensing rows: the intervals where behaviour becomes visible.
+M_INTERVALS: Sequence[float] = (64, 640, 2048, 4096, 8192, 16384, 65536, 262144)
+
+
+def run(
+    intervals: Sequence[float] = M_INTERVALS,
+    strengths: Sequence[int] = PAPER_STRENGTHS,
+) -> ExperimentResult:
+    """Reproduce Table IV (M-metric sensing)."""
+    return _ler_experiment(
+        "table4",
+        "LER vs ECC code and scrub interval (M-metric sensing)",
+        M_METRIC,
+        intervals,
+        strengths,
+    )

@@ -1,0 +1,25 @@
+"""Event-driven memory-system simulator.
+
+* :mod:`repro.memsim.config` — platform parameters (Table VIII).
+* :mod:`repro.memsim.policy` — the scheme/engine interface.
+* :mod:`repro.memsim.engine` — cores, banks, scrub engine, event loop.
+* :mod:`repro.memsim.stats` — per-run measurements.
+"""
+
+from .config import DEFAULT_MEMORY_CONFIG, MemoryConfig
+from .engine import MemorySystemSim, simulate
+from .policy import ReadDecision, ReadMode, SchemePolicy, ScrubDecision, WriteDecision
+from .stats import RunStats
+
+__all__ = [
+    "DEFAULT_MEMORY_CONFIG",
+    "MemoryConfig",
+    "MemorySystemSim",
+    "simulate",
+    "ReadDecision",
+    "ReadMode",
+    "SchemePolicy",
+    "ScrubDecision",
+    "WriteDecision",
+    "RunStats",
+]

@@ -1,0 +1,99 @@
+"""Per-run statistics collected by the memory-system engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..pcm.endurance import WearAccount
+from ..pcm.energy import EnergyAccount
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Everything a simulation run measures.
+
+    Attributes:
+        scheme: Scheme label.
+        workload: Workload/trace label.
+        execution_time_ns: Wall-clock of the slowest core.
+        instructions: Total instructions executed across cores.
+        reads / writes: Demand requests serviced.
+        reads_by_mode: Demand reads by sensing mode (``"R"/"M"/"RM"``).
+        conversions: R-M-reads converted into rewrites.
+        silent_corruptions: Reads that returned wrong data undetected.
+        uncorrectable_reads: Reads detected as uncorrectable.
+        scrub_ops: Scrub visits performed.
+        scrub_rewrites: Scrub visits that rewrote the line.
+        scrubs_skipped: Scrub visits dropped because the sweep could not
+            keep pace with its deadline (reliability debt).
+        cancelled_writes: Demand writes cancelled to service a read.
+        total_read_latency_ns: Sum of demand-read service latencies
+            (queueing included), for mean-latency reporting.
+        energy: Dynamic-energy account (pJ, by category).
+        wear: Cell-write account (by cause).
+    """
+
+    scheme: str
+    workload: str
+    execution_time_ns: float = 0.0
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    reads_by_mode: Dict[str, int] = field(default_factory=dict)
+    conversions: int = 0
+    silent_corruptions: int = 0
+    uncorrectable_reads: int = 0
+    scrub_ops: int = 0
+    scrub_rewrites: int = 0
+    scrubs_skipped: int = 0
+    cancelled_writes: int = 0
+    total_read_latency_ns: float = 0.0
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+    wear: WearAccount = field(default_factory=WearAccount)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per nanosecond-normalized cycle."""
+        if self.execution_time_ns <= 0:
+            return 0.0
+        return self.instructions / self.execution_time_ns
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        """Mean demand-read latency including queueing."""
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+    @property
+    def dynamic_energy_pj(self) -> float:
+        """Total dynamic energy of the run."""
+        return self.energy.total_pj
+
+    @property
+    def total_cell_writes(self) -> int:
+        """Endurance consumed during the run, in cell programs."""
+        return self.wear.total_cells
+
+    def mode_fraction(self, mode: str) -> float:
+        """Fraction of demand reads serviced in the given mode."""
+        return self.reads_by_mode.get(mode, 0) / self.reads if self.reads else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary for tabular reporting."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "exec_ms": self.execution_time_ns / 1e6,
+            "ipc": self.ipc,
+            "avg_read_ns": self.avg_read_latency_ns,
+            "read_R": self.mode_fraction("R"),
+            "read_M": self.mode_fraction("M"),
+            "read_RM": self.mode_fraction("RM"),
+            "conversions": self.conversions,
+            "scrub_ops": self.scrub_ops,
+            "scrub_rewrites": self.scrub_rewrites,
+            "energy_uj": self.dynamic_energy_pj / 1e6,
+            "cell_writes": self.total_cell_writes,
+        }

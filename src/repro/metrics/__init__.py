@@ -1,0 +1,6 @@
+"""Evaluation metrics: EDAP and lifetime."""
+
+from .edap import EdapEntry, compute_edap
+from .lifetime import lifetime_ratios, wear_breakdown
+
+__all__ = ["EdapEntry", "compute_edap", "lifetime_ratios", "wear_breakdown"]

@@ -1,0 +1,109 @@
+"""EDAP — Energy-Delay-Area Product (paper Section V-C, Figure 11).
+
+The paper's combined figure of merit multiplies three normalized factors:
+
+* **Energy** — dynamic energy of the run ("Product-D") or dynamic plus
+  background/static energy ("Product-S");
+* **Delay** — execution time;
+* **Area** — cells needed to store a 64B line, including ECC and tracking
+  flags (:mod:`repro.pcm.area`).
+
+Everything is normalized to the TLC design, the densest *reliable*
+baseline, so numbers below 1.0 beat TLC. The paper's headline: Select-4:2
+improves EDAP by ~37% (dynamic) / ~23% (system) over TLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..memsim.stats import RunStats
+from ..pcm.area import LineCellBudget, cell_budget_for_scheme
+
+__all__ = ["EdapEntry", "compute_edap"]
+
+
+@dataclass(frozen=True)
+class EdapEntry:
+    """One scheme's EDAP decomposition.
+
+    Attributes:
+        scheme: Scheme label.
+        delay: Execution time normalized to the reference scheme.
+        energy: Energy normalized to the reference scheme.
+        area: Cells-per-line normalized to the reference scheme.
+        edap: The product (1.0 = reference; lower is better).
+    """
+
+    scheme: str
+    delay: float
+    energy: float
+    area: float
+
+    @property
+    def edap(self) -> float:
+        return self.delay * self.energy * self.area
+
+    def improvement_over_reference(self) -> float:
+        """Fractional EDAP improvement vs the reference (0.37 = 37%)."""
+        return 1.0 - self.edap
+
+
+def compute_edap(
+    stats_by_scheme: Mapping[str, RunStats],
+    reference: str = "TLC",
+    system_energy: bool = False,
+    total_lines: Optional[int] = None,
+    budgets: Optional[Mapping[str, LineCellBudget]] = None,
+) -> Dict[str, EdapEntry]:
+    """Compute normalized EDAP entries for one workload's scheme sweep.
+
+    Args:
+        stats_by_scheme: Run statistics, all from the *same trace*.
+        reference: Normalization scheme (paper: TLC).
+        system_energy: Add background energy over the run ("Product-S").
+        total_lines: Memory size for background energy; required when
+            ``system_energy`` is set.
+        budgets: Cells-per-line budget overrides by scheme label; any
+            scheme not listed resolves through
+            :func:`repro.pcm.area.cell_budget_for_scheme`.
+
+    Returns:
+        Scheme -> :class:`EdapEntry`, including the reference (EDAP 1.0).
+    """
+    if reference not in stats_by_scheme:
+        raise KeyError(f"reference scheme {reference!r} missing from stats")
+    if system_energy and not total_lines:
+        raise ValueError("system_energy requires total_lines")
+    overrides = dict(budgets) if budgets is not None else {}
+
+    def energy_of(stats: RunStats) -> float:
+        energy = stats.dynamic_energy_pj
+        if system_energy:
+            energy += stats.energy.background_pj(
+                stats.execution_time_ns, int(total_lines)
+            )
+        return energy
+
+    def area_of(scheme: str) -> float:
+        if scheme in overrides:
+            return overrides[scheme].total_cells
+        return cell_budget_for_scheme(scheme).total_cells
+
+    ref = stats_by_scheme[reference]
+    ref_energy = energy_of(ref)
+    ref_delay = ref.execution_time_ns
+    ref_area = area_of(reference)
+    if ref_energy <= 0 or ref_delay <= 0:
+        raise ValueError("reference run has no measured energy/delay")
+
+    return {
+        scheme: EdapEntry(
+            scheme=scheme,
+            delay=stats.execution_time_ns / ref_delay,
+            energy=energy_of(stats) / ref_energy,
+            area=area_of(scheme) / ref_area,
+        )
+        for scheme, stats in stats_by_scheme.items()
+    }

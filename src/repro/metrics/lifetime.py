@@ -1,0 +1,48 @@
+"""Lifetime comparison across schemes (paper Section V-E, Figure 15).
+
+With ideal wear leveling, chip lifetime over a fixed amount of useful work
+is inversely proportional to the cell-program operations consumed. Each
+scheme's lifetime is therefore reported relative to the Ideal scheme
+running the same trace: Scrubbing loses lifetime to scrub rewrites, LWT to
+conversion writes, and Select *gains* lifetime by writing only modified
+cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..memsim.stats import RunStats
+
+__all__ = ["lifetime_ratios", "wear_breakdown"]
+
+
+def lifetime_ratios(
+    stats_by_scheme: Mapping[str, RunStats], baseline: str = "Ideal"
+) -> Dict[str, float]:
+    """Relative lifetime of each scheme vs ``baseline`` on the same trace.
+
+    Values above 1.0 mean the scheme extends lifetime (Select-4:2 should
+    land around +42%); below 1.0 means extra wear.
+    """
+    if baseline not in stats_by_scheme:
+        raise KeyError(f"baseline {baseline!r} missing from stats")
+    base = stats_by_scheme[baseline].total_cell_writes
+    if base <= 0:
+        raise ValueError("baseline run performed no cell writes")
+    return {
+        scheme: (base / stats.total_cell_writes)
+        if stats.total_cell_writes > 0
+        else float("inf")
+        for scheme, stats in stats_by_scheme.items()
+    }
+
+
+def wear_breakdown(stats: RunStats) -> Dict[str, float]:
+    """Fraction of a run's cell writes attributable to each cause."""
+    total = stats.total_cell_writes
+    if total <= 0:
+        return {}
+    return {
+        cause: cells / total for cause, cells in sorted(stats.wear.by_cause.items())
+    }

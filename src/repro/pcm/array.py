@@ -1,0 +1,266 @@
+"""Vectorized MLC PCM cell arrays with drift, for Monte-Carlo experiments.
+
+A :class:`CellArray` holds ``num_lines x cells_per_line`` cells. Every cell
+carries its programmed R- and M-metric values, its per-metric drift
+exponents, its last-write time, and a write counter (endurance). Reads
+apply the drift law at the requested absolute time and quantize with either
+metric's reference ladder.
+
+Both full-line writes and *differential* writes are supported. A
+differential write reprograms only the cells whose target level differs
+from the stored level; untouched cells keep their old programmed value,
+drift exponent and write time — exactly the mechanism that skews the
+resistance distribution toward the state boundary in paper Fig. 6.
+
+Because both readout metrics derive from the same physical cell (drift is
+a function of the activation energy — paper Section II-B), a cell's
+M-metric drift exponent is by default *correlated* with its R-metric
+exponent: ``alpha_m = alpha_r * (mu_alpha_m / mu_alpha_r)`` per level,
+with a small independent dispersion. A fast-drifting cell under R-sensing
+is therefore also the (relatively) fastest-drifting under M-sensing,
+which is the honest setting for evaluating the R->M fallback. Pass
+``correlated_drift=False`` for independent draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .cell import sample_alpha, sample_initial_log10
+from .params import M_METRIC, MetricParams, NUM_LEVELS, R_METRIC
+from .sensing import sense_levels
+
+__all__ = ["CellArray", "LineReadResult"]
+
+
+@dataclass(frozen=True)
+class LineReadResult:
+    """Outcome of sensing one line at a point in time.
+
+    Attributes:
+        sensed_levels: Levels the sense amplifier reported.
+        stored_levels: Levels the line actually holds.
+        cell_errors: Number of cells sensed at the wrong level.
+    """
+
+    sensed_levels: np.ndarray
+    stored_levels: np.ndarray
+    cell_errors: int
+
+    @property
+    def correct(self) -> bool:
+        """True when the read returned every cell's true level."""
+        return self.cell_errors == 0
+
+
+class CellArray:
+    """A bank of MLC PCM lines with per-cell drift state.
+
+    Args:
+        num_lines: Number of memory lines.
+        cells_per_line: MLC cells per line (256 for a 64B data line).
+        rng: Randomness for programming noise and drift exponents.
+        r_params: R-metric model (defaults to paper Table I).
+        m_params: M-metric model (defaults to paper Table II).
+        initial_levels: Optional ``(num_lines, cells_per_line)`` array of
+            starting levels; defaults to uniform random data.
+        start_time_s: Absolute time at which the initial programming occurs.
+        correlated_drift: Tie each cell's M-metric drift exponent to its
+            R-metric exponent (shared activation energy); see the module
+            docstring.
+        correlation_dispersion: Relative lognormal dispersion of the
+            per-cell M/R exponent ratio when drift is correlated.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        cells_per_line: int = 256,
+        rng: Optional[np.random.Generator] = None,
+        r_params: MetricParams = R_METRIC,
+        m_params: MetricParams = M_METRIC,
+        initial_levels: Optional[np.ndarray] = None,
+        start_time_s: float = 0.0,
+        correlated_drift: bool = True,
+        correlation_dispersion: float = 0.1,
+    ) -> None:
+        if num_lines <= 0 or cells_per_line <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.num_lines = num_lines
+        self.cells_per_line = cells_per_line
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.r_params = r_params
+        self.m_params = m_params
+        self.correlated_drift = correlated_drift
+        self.correlation_dispersion = correlation_dispersion
+        # Per-level mean ratio between the metrics' drift exponents.
+        self._alpha_ratio = np.asarray(
+            [
+                (m_params.mu_alpha[lv] / r_params.mu_alpha[lv])
+                if r_params.mu_alpha[lv] > 0
+                else 0.0
+                for lv in range(NUM_LEVELS)
+            ]
+        )
+
+        shape = (num_lines, cells_per_line)
+        if initial_levels is None:
+            levels = self.rng.integers(0, NUM_LEVELS, size=shape, dtype=np.int64)
+        else:
+            levels = np.asarray(initial_levels, dtype=np.int64)
+            if levels.shape != shape:
+                raise ValueError(f"initial_levels must have shape {shape}")
+        self.levels = levels
+        self.log10_r0 = sample_initial_log10(r_params, levels, self.rng)
+        self.alpha_r = sample_alpha(r_params, levels, self.rng)
+        self.log10_m0 = sample_initial_log10(m_params, levels, self.rng)
+        self.alpha_m = self._draw_alpha_m(levels, self.alpha_r)
+        self.write_time = np.full(shape, float(start_time_s), dtype=np.float64)
+        self.write_count = np.ones(shape, dtype=np.int64)
+
+    def _draw_alpha_m(self, levels: np.ndarray, alpha_r: np.ndarray) -> np.ndarray:
+        """M-metric drift exponents, correlated with R when configured."""
+        if not self.correlated_drift:
+            return sample_alpha(self.m_params, levels, self.rng)
+        ratio = self._alpha_ratio[np.asarray(levels, dtype=np.int64)]
+        noise = np.exp(
+            self.rng.normal(0.0, self.correlation_dispersion, size=np.shape(alpha_r))
+        )
+        return np.clip(np.asarray(alpha_r) * ratio * noise, 0.0, None)
+
+    # ------------------------------------------------------------------ write
+
+    def write_line(self, line: int, levels: np.ndarray, now_s: float) -> int:
+        """Full-line write: reprogram every cell of ``line``.
+
+        Returns:
+            Number of cells written (always ``cells_per_line``).
+        """
+        target = self._check_levels(levels)
+        mask = np.ones(self.cells_per_line, dtype=bool)
+        return self._program(line, mask, target, now_s)
+
+    def write_line_differential(
+        self, line: int, levels: np.ndarray, now_s: float
+    ) -> int:
+        """Differential write: reprogram only cells whose level changes.
+
+        Cells already holding the target level are left untouched — their
+        drifted resistance, drift exponent and write time are preserved.
+
+        Returns:
+            Number of cells actually reprogrammed.
+        """
+        target = self._check_levels(levels)
+        mask = target != self.levels[line]
+        return self._program(line, mask, target, now_s)
+
+    def rewrite_line_in_place(self, line: int, now_s: float) -> int:
+        """Scrub-style refresh: reprogram every cell to its stored level."""
+        return self.write_line(line, self.levels[line].copy(), now_s)
+
+    def rewrite_cells_in_place(
+        self, line: int, mask: np.ndarray, now_s: float
+    ) -> int:
+        """Reprogram only the masked cells to their stored levels.
+
+        Models a repair that touches selected cells (e.g. re-centering
+        drifted cells found by a scrub) without refreshing the rest.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.cells_per_line,):
+            raise ValueError(f"mask must cover {self.cells_per_line} cells")
+        return self._program(line, mask, self.levels[line], now_s)
+
+    def _program(
+        self, line: int, mask: np.ndarray, target: np.ndarray, now_s: float
+    ) -> int:
+        written = int(mask.sum())
+        if written == 0:
+            return 0
+        idx = np.nonzero(mask)[0]
+        lv = target[idx]
+        self.levels[line, idx] = lv
+        self.log10_r0[line, idx] = sample_initial_log10(self.r_params, lv, self.rng)
+        alpha_r = sample_alpha(self.r_params, lv, self.rng)
+        self.alpha_r[line, idx] = alpha_r
+        self.log10_m0[line, idx] = sample_initial_log10(self.m_params, lv, self.rng)
+        self.alpha_m[line, idx] = self._draw_alpha_m(lv, alpha_r)
+        self.write_time[line, idx] = now_s
+        self.write_count[line, idx] += 1
+        return written
+
+    def _check_levels(self, levels: np.ndarray) -> np.ndarray:
+        target = np.asarray(levels, dtype=np.int64)
+        if target.shape != (self.cells_per_line,):
+            raise ValueError(f"expected {self.cells_per_line} levels per line")
+        if target.size and (target.min() < 0 or target.max() >= NUM_LEVELS):
+            raise ValueError("levels out of range")
+        return target
+
+    # ------------------------------------------------------------------- read
+
+    def line_log10_values(
+        self, line: int, now_s: float, metric: str = "R"
+    ) -> np.ndarray:
+        """Drifted ``log10`` metric values of one line at ``now_s``."""
+        params, base, alpha = self._metric_state(metric)
+        elapsed = np.maximum(now_s - self.write_time[line], 0.0)
+        lam = np.log10(np.maximum(elapsed, params.t0) / params.t0)
+        return base[line] + alpha[line] * lam
+
+    def read_line(self, line: int, now_s: float, metric: str = "R") -> LineReadResult:
+        """Sense one line with the given metric at absolute time ``now_s``."""
+        params, _, _ = self._metric_state(metric)
+        values = self.line_log10_values(line, now_s, metric)
+        sensed = sense_levels(params, values)
+        stored = self.levels[line]
+        errors = int(np.count_nonzero(sensed != stored))
+        return LineReadResult(
+            sensed_levels=sensed, stored_levels=stored.copy(), cell_errors=errors
+        )
+
+    def count_drift_errors(
+        self, now_s: float, metric: str = "R"
+    ) -> np.ndarray:
+        """Per-line count of cells that would be mis-sensed at ``now_s``.
+
+        Vectorized across the whole array — used by scrubbing sweeps and by
+        the Monte-Carlo validation of the analytic LER model.
+        """
+        params, base, alpha = self._metric_state(metric)
+        elapsed = np.maximum(now_s - self.write_time, 0.0)
+        lam = np.log10(np.maximum(elapsed, params.t0) / params.t0)
+        values = base + alpha * lam
+        sensed = sense_levels(params, values)
+        return np.count_nonzero(sensed != self.levels, axis=1)
+
+    def _metric_state(
+        self, metric: str
+    ) -> Tuple[MetricParams, np.ndarray, np.ndarray]:
+        if metric == "R":
+            return self.r_params, self.log10_r0, self.alpha_r
+        if metric == "M":
+            return self.m_params, self.log10_m0, self.alpha_m
+        raise ValueError(f"unknown metric {metric!r}; expected 'R' or 'M'")
+
+    # -------------------------------------------------------------- accounting
+
+    def total_cell_writes(self) -> int:
+        """Total cell-program operations since construction (endurance)."""
+        return int(self.write_count.sum())
+
+    def max_cell_writes(self) -> int:
+        """Worst-case per-cell write count (lifetime-limiting cell)."""
+        return int(self.write_count.max())
+
+    def line_age_s(self, line: int, now_s: float) -> float:
+        """Seconds since the *oldest* cell of ``line`` was written.
+
+        Differential writes leave cells with different ages; R-sensing
+        reliability is governed by the oldest cell, hence ``min`` write time.
+        """
+        return float(now_s - self.write_time[line].min())

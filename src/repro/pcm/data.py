@@ -1,0 +1,85 @@
+"""Conversions between byte payloads, 2-bit symbols, and MLC levels.
+
+A 64-byte memory line is 512 bits = 256 two-bit symbols = 256 MLC cells.
+Symbols are gray-mapped to resistance levels (see :mod:`repro.pcm.params`)
+so that a single-state drift corrupts exactly one bit.
+
+Bit/symbol order convention: within a byte, symbol 0 is the *most
+significant* pair (bits 7..6), symbol 3 the least significant (bits 1..0).
+The choice only has to be self-consistent; round-trip tests pin it down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import GRAY_BITS_TO_LEVEL, GRAY_LEVEL_TO_BITS
+
+__all__ = [
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+    "symbols_to_levels",
+    "levels_to_symbols",
+    "bytes_to_levels",
+    "levels_to_bytes",
+    "symbol_bit_errors",
+    "count_bit_errors",
+]
+
+_SYMBOL_TO_LEVEL = np.asarray(GRAY_BITS_TO_LEVEL, dtype=np.int64)
+_LEVEL_TO_SYMBOL = np.asarray(GRAY_LEVEL_TO_BITS, dtype=np.int64)
+_POPCOUNT2 = np.asarray([0, 1, 1, 2], dtype=np.int64)
+
+
+def bytes_to_symbols(data: bytes) -> np.ndarray:
+    """Split bytes into 2-bit symbols, 4 symbols per byte, MSB pair first."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    shifts = np.asarray([6, 4, 2, 0], dtype=np.int64)
+    symbols = (arr[:, None] >> shifts[None, :]) & 0b11
+    return symbols.reshape(-1)
+
+
+def symbols_to_bytes(symbols: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`."""
+    arr = np.asarray(symbols, dtype=np.int64)
+    if arr.size % 4:
+        raise ValueError("symbol count must be a multiple of 4")
+    if arr.size and (arr.min() < 0 or arr.max() > 3):
+        raise ValueError("symbols must be 2-bit values")
+    quads = arr.reshape(-1, 4)
+    packed = (quads[:, 0] << 6) | (quads[:, 1] << 4) | (quads[:, 2] << 2) | quads[:, 3]
+    return packed.astype(np.uint8).tobytes()
+
+
+def symbols_to_levels(symbols: np.ndarray) -> np.ndarray:
+    """Gray-map 2-bit symbols to MLC resistance levels."""
+    arr = np.asarray(symbols, dtype=np.int64)
+    return _SYMBOL_TO_LEVEL[arr]
+
+
+def levels_to_symbols(levels: np.ndarray) -> np.ndarray:
+    """Gray-map MLC resistance levels back to 2-bit symbols."""
+    arr = np.asarray(levels, dtype=np.int64)
+    return _LEVEL_TO_SYMBOL[arr]
+
+
+def bytes_to_levels(data: bytes) -> np.ndarray:
+    """Bytes -> levels in one step (4 cells per byte)."""
+    return symbols_to_levels(bytes_to_symbols(data))
+
+
+def levels_to_bytes(levels: np.ndarray) -> bytes:
+    """Levels -> bytes in one step."""
+    return symbols_to_bytes(levels_to_symbols(levels))
+
+
+def symbol_bit_errors(stored: np.ndarray, sensed: np.ndarray) -> np.ndarray:
+    """Per-cell bit-error counts between stored and sensed level arrays."""
+    a = levels_to_symbols(np.asarray(stored, dtype=np.int64))
+    b = levels_to_symbols(np.asarray(sensed, dtype=np.int64))
+    return _POPCOUNT2[a ^ b]
+
+
+def count_bit_errors(stored: np.ndarray, sensed: np.ndarray) -> int:
+    """Total bit errors a sensed line exhibits relative to the stored data."""
+    return int(symbol_bit_errors(stored, sensed).sum())

@@ -1,0 +1,88 @@
+"""Write-endurance and lifetime accounting (paper Section V-E, Figure 15).
+
+PCM cells wear out after a bounded number of SET/RESET cycles (1e8 here).
+With ideal wear leveling — which the paper assumes; wear leveling itself is
+orthogonal work [19], [24] — chip lifetime is inversely proportional to the
+*total cell-write rate*: every processor write, every scrub rewrite, and
+every R-M-read conversion write consumes endurance, while differential
+writes only charge the cells they actually reprogram.
+
+:class:`WearAccount` accumulates cell writes by cause so that experiments
+can report both the lifetime ratio (Figure 15) and the breakdown behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["WearAccount", "CELL_ENDURANCE_WRITES", "lifetime_years"]
+
+#: Per-cell write endurance assumed for MLC PCM.
+CELL_ENDURANCE_WRITES = 1.0e8
+
+
+@dataclass
+class WearAccount:
+    """Accumulates cell-write counts by cause.
+
+    Attributes:
+        cells_per_line: Cells charged per full-line write.
+        by_cause: Cell writes attributed to each cause. Causes used by the
+            simulator: ``"demand"`` (processor writes), ``"scrub"`` (scrub
+            rewrites), ``"conversion"`` (R-M-read conversion writes).
+    """
+
+    cells_per_line: int = 296
+    by_cause: Dict[str, int] = field(default_factory=dict)
+
+    def add_full_line(self, cause: str, lines: int = 1) -> int:
+        """Charge ``lines`` full-line writes to ``cause``; returns cells."""
+        cells = lines * self.cells_per_line
+        self.by_cause[cause] = self.by_cause.get(cause, 0) + cells
+        return cells
+
+    def add_cells(self, cause: str, cells: int) -> int:
+        """Charge an exact cell count (differential writes) to ``cause``."""
+        if cells < 0:
+            raise ValueError("cell count must be non-negative")
+        self.by_cause[cause] = self.by_cause.get(cause, 0) + cells
+        return cells
+
+    @property
+    def total_cells(self) -> int:
+        """Total cell writes across all causes."""
+        return sum(self.by_cause.values())
+
+    def lifetime_ratio(self, baseline: "WearAccount") -> float:
+        """Lifetime of this scheme relative to ``baseline``.
+
+        With ideal wear leveling, lifetime scales as the inverse of the
+        cell-write total for the same amount of useful work.
+        """
+        if self.total_cells == 0:
+            return float("inf")
+        if baseline.total_cells == 0:
+            raise ValueError("baseline performed no writes")
+        return baseline.total_cells / self.total_cells
+
+
+def lifetime_years(
+    cell_write_rate_per_s: float,
+    total_cells: float,
+    endurance: float = CELL_ENDURANCE_WRITES,
+) -> float:
+    """Chip lifetime in years under ideal wear leveling.
+
+    Args:
+        cell_write_rate_per_s: Aggregate cell-program operations per second.
+        total_cells: Number of cells in the chip.
+        endurance: Writes each cell survives.
+
+    Returns:
+        Years until the write budget ``total_cells * endurance`` is spent.
+    """
+    if cell_write_rate_per_s <= 0:
+        return float("inf")
+    seconds = total_cells * endurance / cell_write_rate_per_s
+    return seconds / (365.25 * 24 * 3600)

@@ -1,0 +1,78 @@
+"""Dynamic-energy accounting for memory-system runs (paper Figure 10).
+
+:class:`EnergyAccount` accumulates picojoules by category so experiments
+can report both totals and the read/write/scrub breakdown the paper
+discusses. The per-operation costs come from
+:class:`repro.pcm.params.EnergyParams` (Table IX defaults).
+
+Categories used by the simulator:
+
+* ``"read"`` — demand R-/M-/R-M-reads.
+* ``"write"`` — demand line writes (full or differential).
+* ``"scrub_read"`` / ``"scrub_write"`` — scrub sweep sensing and rewrites.
+* ``"conversion"`` — R-M-read conversion writes (ReadDuo-LWT).
+* ``"flags"`` — SLC tracking-flag reads/updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .params import DEFAULT_ENERGY, EnergyParams
+
+__all__ = ["EnergyAccount"]
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates dynamic energy (pJ) by category.
+
+    Attributes:
+        params: Per-operation energy costs.
+        data_bits: Data bits sensed per line read.
+        by_category: Accumulated picojoules per category.
+    """
+
+    params: EnergyParams = field(default_factory=lambda: DEFAULT_ENERGY)
+    data_bits: int = 512
+    by_category: Dict[str, float] = field(default_factory=dict)
+
+    def _add(self, category: str, pj: float) -> float:
+        self.by_category[category] = self.by_category.get(category, 0.0) + pj
+        return pj
+
+    def add_read(self, metric: str, category: str = "read") -> float:
+        """Charge one line read with metric ``"R"``, ``"M"`` or ``"RM"``."""
+        return self._add(category, self.params.read_energy_pj(metric, self.data_bits))
+
+    def add_write(self, cells_written: int, category: str = "write") -> float:
+        """Charge a line write that programmed ``cells_written`` cells."""
+        return self._add(category, self.params.write_energy_pj(cells_written))
+
+    def add_flag_access(self, writes: bool = False) -> float:
+        """Charge an SLC flag read (and optionally an update)."""
+        pj = self.params.flag_read_pj + (self.params.flag_write_pj if writes else 0.0)
+        return self._add("flags", pj)
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy across all categories."""
+        return sum(self.by_category.values())
+
+    def background_pj(self, elapsed_ns: float, num_lines: int) -> float:
+        """Static/background energy over ``elapsed_ns`` for the array size.
+
+        Used only by the "system energy" EDAP variant (Product-S in the
+        paper's Figure 11); dynamic comparisons ignore it.
+        """
+        watts = self.params.background_pw_per_line * 1e-12 * num_lines
+        return watts * elapsed_ns * 1e-9 * 1e12
+
+    def merged_with(self, other: "EnergyAccount") -> "EnergyAccount":
+        """A new account holding the categorical sum of both accounts."""
+        merged = EnergyAccount(params=self.params, data_bits=self.data_bits)
+        for source in (self.by_category, other.by_category):
+            for key, value in source.items():
+                merged.by_category[key] = merged.by_category.get(key, 0.0) + value
+        return merged

@@ -1,0 +1,113 @@
+"""Low-field I-V characteristics of PCM cells (paper Figure 2).
+
+The model is a standard Poole–Frenkel-flavored conduction law for the
+amorphous cap of thickness ``u_a`` in series with the crystalline GST:
+
+``I(V) = (A / u_a) * sinh(V / (u_a * V_pf))``
+
+which is ohmic for small ``V`` (slope ~ ``1/u_a^2`` — thicker amorphous
+caps mean higher resistance) and super-linear approaching the threshold
+voltage ``V_th``. Reads must stay below ``V_th``; crossing it triggers
+threshold switching and can disturb the cell state.
+
+From the same curve both readout metrics are derived:
+
+* **R-metric**: apply ``V_bias`` and measure current — ``R = V_bias / I``.
+* **M-metric**: force ``I_bias`` and measure voltage — ``M = V / I_bias``
+  (units of resistance but a much weaker function of activation energy).
+
+These functions exist to regenerate Figure 2 and to sanity-check that the
+metric separation behaves as the paper describes (larger signal range for
+M-sensing at high resistance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["IVModel", "DEFAULT_IV_MODEL"]
+
+
+@dataclass(frozen=True)
+class IVModel:
+    """Parametric low-field I-V model for a 2-bit MLC PCM cell.
+
+    Attributes:
+        ua_per_level: Amorphous-cap thickness (nm) for levels 0..3. Level 0
+            is fully crystalline (small residual cap), level 3 fully
+            amorphous.
+        conductance_scale: Prefactor ``A`` (A*nm) of the conduction law.
+        v_pf: Poole–Frenkel slope voltage per nm of cap.
+        v_th: Threshold-switching voltage; reads must bias below this.
+        v_bias: Read bias voltage for R-metric sensing.
+        i_bias: Read bias current (A) for M-metric sensing.
+    """
+
+    ua_per_level: Tuple[float, ...] = (2.0, 10.0, 30.0, 80.0)
+    conductance_scale: float = 2.0e-3
+    v_pf: float = 0.02
+    v_th: float = 1.2
+    v_bias: float = 0.2
+    i_bias: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if len(self.ua_per_level) != 4:
+            raise ValueError("need an amorphous thickness per level")
+        if any(b <= a for a, b in zip(self.ua_per_level, self.ua_per_level[1:])):
+            raise ValueError("thickness must increase with level")
+        if not 0 < self.v_bias < self.v_th:
+            raise ValueError("read bias must stay below the threshold voltage")
+
+    def current(self, v: np.ndarray, level: int) -> np.ndarray:
+        """Cell current at voltage(s) ``v`` for a cell programmed to ``level``."""
+        ua = self.ua_per_level[level]
+        v = np.asarray(v, dtype=np.float64)
+        return (self.conductance_scale / ua) * np.sinh(v / (ua * self.v_pf))
+
+    def iv_curve(
+        self, level: int, num_points: int = 200
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the low-field branch of the I-V curve (Figure 2b).
+
+        Returns:
+            ``(voltages, currents)`` from 0 up to just below ``v_th``.
+        """
+        v = np.linspace(0.0, 0.95 * self.v_th, num_points)
+        return v, self.current(v, level)
+
+    def r_metric(self, level: int) -> float:
+        """Low-field resistance sensed at ``v_bias`` (ohms)."""
+        i = float(self.current(np.asarray(self.v_bias), level))
+        return self.v_bias / i
+
+    def m_metric(self, level: int) -> float:
+        """Voltage-mode metric ``V(I_bias) / I_bias`` (ohms).
+
+        Solves the conduction law for the voltage that drives ``i_bias``
+        through the cell: ``V = ua * V_pf * asinh(i_bias * ua / A)``.
+        """
+        ua = self.ua_per_level[level]
+        v = ua * self.v_pf * np.arcsinh(self.i_bias * ua / self.conductance_scale)
+        return float(v) / self.i_bias
+
+    def signal_separation(self, metric: str = "M") -> float:
+        """Smallest adjacent-level signal ratio — readability margin.
+
+        The paper's Figure 2(b) point: at high resistance the R-metric
+        current differences collapse while the M-metric voltages stay
+        well-separated.
+        """
+        if metric == "R":
+            values = [self.r_metric(level) for level in range(4)]
+        elif metric == "M":
+            values = [self.m_metric(level) for level in range(4)]
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        ratios = [hi / lo for lo, hi in zip(values, values[1:])]
+        return min(ratios)
+
+
+DEFAULT_IV_MODEL = IVModel()

@@ -1,0 +1,299 @@
+"""Device-model parameters for 2-bit MLC PCM (paper Tables I and II).
+
+This module is the single source of truth for the resistance-drift model
+used everywhere else in the package:
+
+* ``R(t) = R0 * (t / t0) ** alpha`` (paper Eq. 1), and the analogous
+  M-metric relation ``M(t) = M0 * (t / t0) ** alpha_M`` (Eq. 2).
+* ``log10 R0`` of a cell programmed to level ``i`` is normally distributed
+  with mean ``mu[i]`` and a common ``sigma``; program-and-verify truncates
+  the realized distribution to ``mu[i] +/- program_width_sigma * sigma``.
+* The read reference between level ``i`` and level ``i+1`` sits at the state
+  boundary ``mu[i] + boundary_sigma * sigma`` (== ``mu[i+1] - boundary_sigma
+  * sigma`` for unit state spacing), leaving a guard band of
+  ``(boundary_sigma - program_width_sigma) * sigma`` on each side.
+* The drift exponent ``alpha`` of a cell at level ``i`` is normally
+  distributed with mean ``mu_alpha[i]`` and standard deviation
+  ``sigma_alpha_frac * mu_alpha[i]``, clipped at zero (resistance never
+  drifts downward in this model).
+
+Levels are ordered by resistance, ``0`` = fully crystalline (lowest R),
+``3`` = fully amorphous (highest R). Data is gray-coded so that a one-state
+drift produces exactly one bit error (paper Fig. 1):
+
+=====  ====
+level  bits
+=====  ====
+0      01
+1      11
+2      10
+3      00
+=====  ====
+
+The source text of the paper renders Tables I/II imperfectly; the defaults
+below follow the resolution documented in DESIGN.md section 3 and match the
+configurations of the paper's references [2] (efficient scrubbing) and [26]
+(tri-level cell).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "NUM_LEVELS",
+    "GRAY_LEVEL_TO_BITS",
+    "GRAY_BITS_TO_LEVEL",
+    "MetricParams",
+    "R_METRIC",
+    "M_METRIC",
+    "TimingParams",
+    "EnergyParams",
+    "DEFAULT_TIMING",
+    "DEFAULT_ENERGY",
+    "level_to_bits",
+    "bits_to_level",
+    "hamming_distance_levels",
+]
+
+#: Number of resistance levels in a 2-bit MLC cell.
+NUM_LEVELS = 4
+
+#: Gray mapping from resistance level (0 = crystalline .. 3 = amorphous)
+#: to the stored 2-bit pattern, per paper Figure 1.
+GRAY_LEVEL_TO_BITS: Tuple[int, ...] = (0b01, 0b11, 0b10, 0b00)
+
+#: Inverse of :data:`GRAY_LEVEL_TO_BITS`.
+GRAY_BITS_TO_LEVEL: Tuple[int, ...] = tuple(
+    GRAY_LEVEL_TO_BITS.index(bits) for bits in range(NUM_LEVELS)
+)
+
+
+def level_to_bits(level: int) -> int:
+    """Return the gray-coded 2-bit pattern stored at resistance ``level``."""
+    return GRAY_LEVEL_TO_BITS[level]
+
+
+def bits_to_level(bits: int) -> int:
+    """Return the resistance level that encodes 2-bit pattern ``bits``."""
+    return GRAY_BITS_TO_LEVEL[bits]
+
+
+def hamming_distance_levels(level_a: int, level_b: int) -> int:
+    """Bit errors produced when a cell at ``level_a`` reads out as ``level_b``."""
+    diff = GRAY_LEVEL_TO_BITS[level_a] ^ GRAY_LEVEL_TO_BITS[level_b]
+    return bin(diff).count("1")
+
+
+@dataclass(frozen=True)
+class MetricParams:
+    """Distribution and drift parameters for one readout metric.
+
+    All resistance-like quantities live in ``log10`` space: a cell programmed
+    to level ``i`` has ``log10(value at t0)`` drawn from
+    ``N(mu[i], sigma**2)`` truncated to ``+/- program_width_sigma * sigma``,
+    and drifts linearly in ``log10(t/t0)`` with slope ``alpha``.
+
+    Attributes:
+        name: Human-readable metric name (``"R"`` or ``"M"``).
+        mu: Per-level mean of ``log10(metric)`` at ``t0``.
+        sigma: Common standard deviation of ``log10(metric)``.
+        mu_alpha: Per-level mean drift exponent.
+        sigma_alpha_frac: ``sigma_alpha[i] = sigma_alpha_frac * mu_alpha[i]``.
+        t0: Normalization time of the drift law, seconds.
+        program_width_sigma: Half-width (in sigmas) of the programmed range
+            enforced by iterative program-and-verify.
+        boundary_sigma: Half-distance (in sigmas) from a state mean to the
+            read reference shared with the adjacent state.
+        read_latency_ns: Sensing latency of a line read using this metric.
+    """
+
+    name: str
+    mu: Tuple[float, ...]
+    sigma: float
+    mu_alpha: Tuple[float, ...]
+    sigma_alpha_frac: float = 0.4
+    t0: float = 1.0
+    program_width_sigma: float = 2.746
+    boundary_sigma: float = 3.0
+    read_latency_ns: float = 150.0
+
+    def __post_init__(self) -> None:
+        if len(self.mu) != NUM_LEVELS:
+            raise ValueError(f"expected {NUM_LEVELS} level means, got {len(self.mu)}")
+        if len(self.mu_alpha) != NUM_LEVELS:
+            raise ValueError(
+                f"expected {NUM_LEVELS} drift means, got {len(self.mu_alpha)}"
+            )
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 < self.program_width_sigma <= self.boundary_sigma:
+            raise ValueError(
+                "program width must be positive and inside the state boundary"
+            )
+        if any(a < 0 for a in self.mu_alpha):
+            raise ValueError("drift exponents must be non-negative")
+        if any(b <= a for a, b in zip(self.mu, self.mu[1:])):
+            raise ValueError("level means must be strictly increasing")
+
+    @property
+    def sigma_alpha(self) -> Tuple[float, ...]:
+        """Per-level standard deviation of the drift exponent."""
+        return tuple(self.sigma_alpha_frac * a for a in self.mu_alpha)
+
+    @property
+    def thresholds(self) -> Tuple[float, ...]:
+        """The ``NUM_LEVELS - 1`` read references in ``log10`` space.
+
+        Reference ``i`` separates level ``i`` (below) from level ``i + 1``
+        (above); it sits at ``mu[i] + boundary_sigma * sigma``.
+        """
+        return tuple(m + self.boundary_sigma * self.sigma for m in self.mu[:-1])
+
+    def upper_boundary(self, level: int) -> float:
+        """The ``log10`` value above which ``level`` reads as ``level + 1``.
+
+        Raises:
+            ValueError: for the top level, which has no upper boundary
+                (drift cannot push it into another state).
+        """
+        if level >= NUM_LEVELS - 1:
+            raise ValueError("the top level has no upper state boundary")
+        return self.thresholds[level]
+
+    def guard_band_sigma(self) -> float:
+        """Guard band between programmed range and state boundary, in sigmas."""
+        return self.boundary_sigma - self.program_width_sigma
+
+    def drift_shift(self, level: int, t: float) -> float:
+        """Mean ``log10`` drift of a level-``level`` cell after ``t`` seconds."""
+        if t < self.t0:
+            return 0.0
+        return self.mu_alpha[level] * math.log10(t / self.t0)
+
+    def replace(self, **changes) -> "MetricParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+#: R-metric (current sensing) configuration — paper Table I, t0 = 1 s.
+#: log10 R0 means 3..6 (kilo-ohms to mega-ohms), read references at
+#: 10^3.5, 10^4.5, 10^5.5 ohms. 150 ns read latency [3].
+R_METRIC = MetricParams(
+    name="R",
+    mu=(3.0, 4.0, 5.0, 6.0),
+    sigma=1.0 / 6.0,
+    mu_alpha=(0.001, 0.02, 0.06, 0.10),
+    read_latency_ns=150.0,
+)
+
+#: M-metric (voltage sensing) configuration — paper Table II, t0 = 1 s.
+#: Means are 4 decades below R (``mu_M = mu_R - 4``); drift exponents are
+#: the ~1/7-of-R values printed in Table II. 450 ns read latency with the
+#: optimized sensing circuit [1].
+M_METRIC = MetricParams(
+    name="M",
+    mu=(-1.0, 0.0, 1.0, 2.0),
+    sigma=1.0 / 6.0,
+    mu_alpha=(0.001, 0.003, 0.010, 0.014),
+    read_latency_ns=450.0,
+)
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Access latencies of the MLC PCM subsystem (paper Table VIII).
+
+    Attributes:
+        r_read_ns: R-metric line read (current sensing).
+        m_read_ns: M-metric line read (optimized voltage sensing).
+        write_ns: Iterative program-and-verify MLC line write.
+        cpu_freq_ghz: Core clock of the 4 in-order cores.
+        bus_ns: Data-bus occupancy per 64B transfer.
+    """
+
+    r_read_ns: float = 150.0
+    m_read_ns: float = 450.0
+    write_ns: float = 1000.0
+    cpu_freq_ghz: float = 2.0
+    bus_ns: float = 7.5
+
+    def __post_init__(self) -> None:
+        for field in ("r_read_ns", "m_read_ns", "write_ns", "cpu_freq_ghz", "bus_ns"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    @property
+    def rm_read_ns(self) -> float:
+        """Latency of an R-M-read: failed R-sensing followed by M-sensing."""
+        return self.r_read_ns + self.m_read_ns
+
+    @property
+    def cycle_ns(self) -> float:
+        """CPU cycle time in nanoseconds."""
+        return 1.0 / self.cpu_freq_ghz
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-operation dynamic energy of the MLC PCM array (paper Table IX).
+
+    The printed Table IX is unreadable in the source text; these defaults
+    follow the cited energy study [31] and are calibrated so the paper's
+    relative energy results (Fig. 10) reproduce. All values are picojoules.
+
+    Attributes:
+        r_read_pj_per_bit: Current-mode sensing energy per data bit.
+        m_read_pj_per_bit: Voltage-mode sensing energy per data bit (longer
+            integration window).
+        write_pj_per_cell: Iterative P&V program energy per cell written.
+        flag_read_pj: SLC flag-bits read per access (off critical path).
+        flag_write_pj: SLC flag-bits update per access.
+        background_pw_per_line: Static/background power share per line
+            (controller, peripheral, refresh-adjacent logic — PCM cells
+            themselves are non-volatile), used only by the "system
+            energy" EDAP variant (Product-S). The default amortizes a
+            ~0.3 W platform background over a 2 GiB rank, which makes
+            system energy track runtime more than activity — exactly why
+            the paper's Product-S narrows Select's energy advantage.
+    """
+
+    r_read_pj_per_bit: float = 0.35
+    m_read_pj_per_bit: float = 0.7
+    write_pj_per_cell: float = 32.0
+    flag_read_pj: float = 1.0
+    flag_write_pj: float = 2.0
+    background_pw_per_line: float = 9000.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "r_read_pj_per_bit",
+            "m_read_pj_per_bit",
+            "write_pj_per_cell",
+            "flag_read_pj",
+            "flag_write_pj",
+            "background_pw_per_line",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+
+    def read_energy_pj(self, metric_name: str, bits: int) -> float:
+        """Energy of one line read of ``bits`` data bits with the metric."""
+        if metric_name == "R":
+            return self.r_read_pj_per_bit * bits
+        if metric_name == "M":
+            return self.m_read_pj_per_bit * bits
+        if metric_name == "RM":
+            return (self.r_read_pj_per_bit + self.m_read_pj_per_bit) * bits
+        raise ValueError(f"unknown metric {metric_name!r}")
+
+    def write_energy_pj(self, cells_written: int) -> float:
+        """Energy of programming ``cells_written`` MLC cells."""
+        return self.write_pj_per_cell * cells_written
+
+
+DEFAULT_TIMING = TimingParams()
+DEFAULT_ENERGY = EnergyParams()

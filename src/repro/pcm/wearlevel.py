@@ -1,0 +1,110 @@
+"""Start-Gap wear leveling [19] — the endurance substrate ReadDuo assumes.
+
+The paper's lifetime analysis (Figure 15) presumes ideal wear leveling so
+that chip lifetime is set by *total* cell-write volume rather than by the
+hottest line. Start-Gap is the canonical low-cost mechanism that earns
+that assumption: an extra spare line plus two registers rotate the
+logical-to-physical mapping one step every ``gap_move_interval`` writes,
+spreading any write-hot logical line across all physical lines over time.
+
+Algebra (Qureshi et al., MICRO'09): with ``N`` logical lines stored in
+``N + 1`` physical slots,
+
+* ``rotated = (logical + start) mod N``
+* ``physical = rotated`` if ``rotated < gap`` else ``rotated + 1``
+* every ``gap_move_interval`` demand writes, the line just below the gap
+  is copied into the gap and the gap moves down one slot; when the gap
+  returns to slot 0 it wraps to slot N and ``start`` advances — after
+  ``N`` full gap rotations every logical line has visited every slot.
+
+The mapper also keeps per-physical-slot write counters so tests (and the
+endurance analysis) can quantify how well hot traffic is spread.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["StartGapMapper"]
+
+
+class StartGapMapper:
+    """Start-Gap logical-to-physical line remapping.
+
+    Args:
+        num_lines: Logical lines managed (physical slots = num_lines + 1).
+        gap_move_interval: Demand writes between gap movements (the
+            paper's psi; 100 gives 1% write overhead).
+    """
+
+    def __init__(self, num_lines: int, gap_move_interval: int = 100) -> None:
+        if num_lines < 2:
+            raise ValueError("need at least two lines")
+        if gap_move_interval < 1:
+            raise ValueError("gap_move_interval must be >= 1")
+        self.num_lines = num_lines
+        self.gap_move_interval = gap_move_interval
+        self.start = 0
+        self.gap = num_lines  # the spare slot starts at the top
+        self._writes_since_move = 0
+        self.gap_moves = 0
+        self.extra_writes = 0
+        self.physical_writes = np.zeros(num_lines + 1, dtype=np.int64)
+
+    # ---------------------------------------------------------------- lookup
+
+    def physical_of(self, logical: int) -> int:
+        """Physical slot currently holding ``logical``."""
+        if not 0 <= logical < self.num_lines:
+            raise ValueError("logical line out of range")
+        rotated = (logical + self.start) % self.num_lines
+        return rotated if rotated < self.gap else rotated + 1
+
+    def mapping(self) -> List[int]:
+        """The full logical -> physical map (tests use this)."""
+        return [self.physical_of(line) for line in range(self.num_lines)]
+
+    # ---------------------------------------------------------------- writes
+
+    def on_write(self, logical: int) -> int:
+        """Record a demand write; returns the physical slot written.
+
+        Every ``gap_move_interval`` writes the gap moves, which costs one
+        extra line copy (counted in :attr:`extra_writes`).
+        """
+        physical = self.physical_of(logical)
+        self.physical_writes[physical] += 1
+        self._writes_since_move += 1
+        if self._writes_since_move >= self.gap_move_interval:
+            self._writes_since_move = 0
+            self._move_gap()
+        return physical
+
+    def _move_gap(self) -> None:
+        if self.gap == 0:
+            # Wrap: the gap jumps back to the top and the rotation
+            # advances — one full sweep completed.
+            self.gap = self.num_lines
+            self.start = (self.start + 1) % self.num_lines
+        else:
+            # Copy the line just below the gap into the gap slot.
+            self.physical_writes[self.gap] += 1
+            self.extra_writes += 1
+            self.gap -= 1
+        self.gap_moves += 1
+
+    # ------------------------------------------------------------- analysis
+
+    def write_overhead(self) -> float:
+        """Extra (copy) writes per demand write."""
+        demand = int(self.physical_writes.sum()) - self.extra_writes
+        return self.extra_writes / demand if demand else 0.0
+
+    def wear_spread(self) -> float:
+        """Max over mean per-slot writes (1.0 = perfectly level)."""
+        mean = self.physical_writes.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.physical_writes.max() / mean)

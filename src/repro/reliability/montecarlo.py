@@ -1,0 +1,92 @@
+"""Monte-Carlo cross-validation of the analytic drift-error model.
+
+The analytic Tables III-V rest on the per-cell error probability of
+:mod:`repro.reliability.drift_prob`. This module validates it empirically:
+program a large :class:`~repro.pcm.array.CellArray`, let it age, count
+mis-sensed cells, and compare against the closed-form prediction. Tests
+and EXPERIMENTS.md use it to demonstrate model/simulation agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..pcm.array import CellArray
+from ..pcm.params import M_METRIC, MetricParams, R_METRIC
+from .drift_prob import mean_cell_error_probability
+
+__all__ = ["MonteCarloPoint", "simulate_error_rates", "relative_error"]
+
+
+@dataclass(frozen=True)
+class MonteCarloPoint:
+    """Empirical vs analytic error probability at one line age.
+
+    Attributes:
+        age_s: Line age.
+        empirical: Fraction of cells mis-sensed in the simulation.
+        analytic: Model prediction for the same age.
+        cells: Cells simulated.
+    """
+
+    age_s: float
+    empirical: float
+    analytic: float
+    cells: int
+
+
+def simulate_error_rates(
+    ages_s: Sequence[float],
+    metric: str = "R",
+    num_lines: int = 2000,
+    cells_per_line: int = 256,
+    seed: int = 7,
+    r_params: MetricParams = R_METRIC,
+    m_params: MetricParams = M_METRIC,
+    rng: Optional[np.random.Generator] = None,
+) -> list:
+    """Measure cell-error rates of a fresh array at several ages.
+
+    The array is programmed once at t=0 with uniform random data and sensed
+    (non-destructively) at each requested age.
+
+    Returns:
+        One :class:`MonteCarloPoint` per age, in the given order.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    array = CellArray(
+        num_lines=num_lines,
+        cells_per_line=cells_per_line,
+        rng=rng,
+        r_params=r_params,
+        m_params=m_params,
+        start_time_s=0.0,
+    )
+    params = r_params if metric == "R" else m_params
+    total_cells = num_lines * cells_per_line
+    points = []
+    for age in ages_s:
+        errors = int(array.count_drift_errors(age, metric=metric).sum())
+        analytic = float(mean_cell_error_probability(params, age))
+        points.append(
+            MonteCarloPoint(
+                age_s=float(age),
+                empirical=errors / total_cells,
+                analytic=analytic,
+                cells=total_cells,
+            )
+        )
+    return points
+
+
+def relative_error(point: MonteCarloPoint) -> float:
+    """|empirical - analytic| / max(analytic, 1/cells) — agreement measure.
+
+    The denominator floor avoids division blow-ups where the analytic
+    probability is below the simulation's resolution.
+    """
+    floor = max(point.analytic, 1.0 / point.cells)
+    return abs(point.empirical - point.analytic) / floor

@@ -1,0 +1,75 @@
+"""Reliability targets: translating DRAM FIT into MLC PCM line error rates.
+
+The paper anchors its design to DRAM soft-error reliability of **25 FIT per
+Mbit** (Section III-A), with Mbit = 1e6 bits. For a 64-byte line (512
+bits):
+
+* ``LER = 25 * 512 / 1e6 / 1e9 = 1.28e-11`` failures per line-*hour*,
+* ``= 3.556e-15`` failures per line-*second*.
+
+A scrubbing scheme with interval ``S`` must keep the probability of an
+uncorrectable line below ``LER_per_second * S`` for each interval — that is
+the "Target" column of Tables III/IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DRAM_FIT_PER_MBIT",
+    "LINE_BITS",
+    "ReliabilityTarget",
+    "DRAM_TARGET",
+]
+
+#: DRAM soft-error rate adopted by the paper (small/conservative end).
+DRAM_FIT_PER_MBIT = 25.0
+
+#: Bits per 64-byte memory line.
+LINE_BITS = 512
+
+
+@dataclass(frozen=True)
+class ReliabilityTarget:
+    """A FIT-based reliability target scaled to per-line probabilities.
+
+    Attributes:
+        fit_per_mbit: Failures in time (per 1e9 device-hours) per 1e6 bits.
+        line_bits: Bits per memory line.
+    """
+
+    fit_per_mbit: float = DRAM_FIT_PER_MBIT
+    line_bits: int = LINE_BITS
+
+    def __post_init__(self) -> None:
+        if self.fit_per_mbit <= 0 or self.line_bits <= 0:
+            raise ValueError("target parameters must be positive")
+
+    @property
+    def ler_per_line_hour(self) -> float:
+        """Line error rate per hour (paper: 1.28e-11)."""
+        return self.fit_per_mbit * self.line_bits / 1e6 / 1e9
+
+    @property
+    def ler_per_line_second(self) -> float:
+        """Line error rate per second (paper: 3.56e-15)."""
+        return self.ler_per_line_hour / 3600.0
+
+    def budget_for_interval(self, interval_s: float) -> float:
+        """Allowed uncorrectable-line probability per ``interval_s`` window.
+
+        This is the "Target" column of paper Tables III/IV: the failure
+        budget grows linearly with the scrub interval.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        return self.ler_per_line_second * interval_s
+
+    def meets(self, failure_probability: float, interval_s: float) -> bool:
+        """Whether a per-interval failure probability satisfies the target."""
+        return failure_probability <= self.budget_for_interval(interval_s)
+
+
+#: The default target used throughout the reproduction.
+DRAM_TARGET = ReliabilityTarget()

@@ -1,0 +1,23 @@
+"""Workload substrate: SPEC2006-like profiles and synthetic traces.
+
+* :mod:`repro.traces.spec` — the 14 workload profiles (Table X substitute).
+* :mod:`repro.traces.generator` — statistical trace synthesis.
+* :mod:`repro.traces.trace` — trace container, persistence, statistics.
+"""
+
+from .generator import generate_trace, is_cold_line
+from .spec import SPEC_WORKLOADS, WorkloadProfile, workload, workload_names
+from .trace import OP_READ, OP_WRITE, Trace, TraceStats
+
+__all__ = [
+    "generate_trace",
+    "is_cold_line",
+    "SPEC_WORKLOADS",
+    "WorkloadProfile",
+    "workload",
+    "workload_names",
+    "OP_READ",
+    "OP_WRITE",
+    "Trace",
+    "TraceStats",
+]

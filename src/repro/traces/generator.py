@@ -1,0 +1,151 @@
+"""Synthetic trace generation from workload profiles.
+
+For each core the generator draws i.i.d. request descriptors:
+
+* inter-request gaps are geometric with mean ``1000 / mpki`` instructions,
+  matching the profile's RPKI+WPKI;
+* the read/write split follows ``read_fraction``;
+* read addresses come from the hot footprint with 80/20-style tiered
+  locality, or — with probability ``cold_read_fraction`` — from the cold
+  region whose lines were last written long before the run starts;
+* write addresses always target the hot footprint (write-backs of the
+  active working set).
+
+Hot lines occupy indices ``[0, footprint_lines)`` and cold lines
+``[footprint_lines, footprint_lines + cold_footprint_lines)``, so the
+simulator can classify a line's region from its address alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .spec import WorkloadProfile
+from .trace import OP_READ, OP_WRITE, Trace
+
+__all__ = ["generate_trace", "is_cold_line"]
+
+
+def _tiered_addresses(
+    rng: np.random.Generator,
+    count: int,
+    region_base: int,
+    region_lines: int,
+    hot_reuse_fraction: float,
+    hot_tier_fraction: float,
+) -> np.ndarray:
+    """Two-tier locality: most accesses hit a small hot tier of the region."""
+    if region_lines <= 0:
+        raise ValueError("region must contain at least one line")
+    hot_lines = max(int(region_lines * hot_tier_fraction), 1)
+    in_hot = rng.random(count) < hot_reuse_fraction
+    addresses = np.empty(count, dtype=np.int64)
+    n_hot = int(in_hot.sum())
+    addresses[in_hot] = rng.integers(0, hot_lines, size=n_hot)
+    addresses[~in_hot] = rng.integers(0, region_lines, size=count - n_hot)
+    return addresses + region_base
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    instructions_per_core: int,
+    num_cores: int = 4,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Generate a multi-core trace for one workload profile.
+
+    Args:
+        profile: Statistical workload description.
+        instructions_per_core: Instructions each core executes.
+        num_cores: Cores sharing the memory system (paper: 4).
+        seed: Reproducibility seed; traces are deterministic given
+            (profile, instructions, cores, seed).
+
+    Returns:
+        A :class:`~repro.traces.trace.Trace` whose per-core request counts
+        follow the profile's MPKI in expectation.
+    """
+    if instructions_per_core <= 0:
+        raise ValueError("instructions_per_core must be positive")
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    rng = np.random.default_rng(seed)
+    mean_gap = 1000.0 / profile.mpki
+    # Geometric with success prob p has mean (1-p)/p counting failures; use
+    # p = 1 / (1 + mean_gap) so E[gap] = mean_gap.
+    p = 1.0 / (1.0 + mean_gap)
+
+    ops, cores, lines, gaps = [], [], [], []
+    for core in range(num_cores):
+        budget = instructions_per_core
+        expected = int(instructions_per_core / (mean_gap + 1) * 1.25) + 16
+        core_gaps = rng.geometric(p, size=expected) - 1
+        cum = np.cumsum(core_gaps + 1)
+        n = int(np.searchsorted(cum, budget, side="right"))
+        if n == 0:
+            continue
+        core_gaps = core_gaps[:n]
+        is_read = rng.random(n) < profile.read_fraction
+        n_reads = int(is_read.sum())
+        addr = np.empty(n, dtype=np.int64)
+        # Reads: cold region with probability cold_read_fraction.
+        if n_reads:
+            cold = (
+                rng.random(n_reads) < profile.cold_read_fraction
+                if profile.cold_footprint_lines > 0
+                else np.zeros(n_reads, dtype=bool)
+            )
+            read_addr = np.empty(n_reads, dtype=np.int64)
+            n_cold = int(cold.sum())
+            if n_cold:
+                read_addr[cold] = _tiered_addresses(
+                    rng,
+                    n_cold,
+                    region_base=profile.footprint_lines,
+                    region_lines=profile.cold_footprint_lines,
+                    hot_reuse_fraction=profile.effective_cold_reuse,
+                    hot_tier_fraction=profile.effective_cold_tier,
+                )
+            if n_reads - n_cold:
+                read_addr[~cold] = _tiered_addresses(
+                    rng,
+                    n_reads - n_cold,
+                    region_base=0,
+                    region_lines=profile.footprint_lines,
+                    hot_reuse_fraction=profile.hot_reuse_fraction,
+                    hot_tier_fraction=profile.hot_tier_fraction,
+                )
+            addr[is_read] = read_addr
+        # Writes: hot footprint only.
+        n_writes = n - n_reads
+        if n_writes:
+            addr[~is_read] = _tiered_addresses(
+                rng,
+                n_writes,
+                region_base=0,
+                region_lines=profile.footprint_lines,
+                hot_reuse_fraction=profile.hot_reuse_fraction,
+                hot_tier_fraction=profile.hot_tier_fraction,
+            )
+        ops.append(np.where(is_read, OP_READ, OP_WRITE).astype(np.uint8))
+        cores.append(np.full(n, core, dtype=np.uint8))
+        lines.append(addr)
+        gaps.append(core_gaps.astype(np.int64))
+
+    if not ops:
+        empty = np.empty(0, dtype=np.int64)
+        return Trace(empty, empty, empty, empty, name=profile.name)
+    return Trace(
+        op=np.concatenate(ops),
+        core=np.concatenate(cores),
+        line=np.concatenate(lines),
+        gap=np.concatenate(gaps),
+        name=profile.name,
+    )
+
+
+def is_cold_line(profile: WorkloadProfile, line: int) -> bool:
+    """Whether ``line`` belongs to the profile's cold region."""
+    return line >= profile.footprint_lines

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim.config import MemoryConfig
+from repro.traces.spec import WorkloadProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic randomness for the test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> MemoryConfig:
+    """A small memory configuration for fast engine tests."""
+    return MemoryConfig(total_lines=1 << 16, num_banks=4)
+
+
+@pytest.fixture
+def small_profile() -> WorkloadProfile:
+    """A compact synthetic workload for fast trace/engine tests."""
+    return WorkloadProfile(
+        name="tiny",
+        rpki=4.0,
+        wpki=2.0,
+        footprint_lines=2048,
+        cold_footprint_lines=512,
+        cold_read_fraction=0.1,
+        hot_age_scale_s=60.0,
+    )

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_multiple(self):
+        args = build_parser().parse_args(["run", "table3", "figure5"])
+        assert args.experiments == ["table3", "figure5"]
+
+    def test_simulate_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheme", "Ideal"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "figure9" in out
+        assert "mcf" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "R(BCH=8,S=8,W=1)" in out
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "table99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_figure5(self, capsys):
+        assert main(["run", "figure5"]) == 0
+        assert "M-sensing" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "gcc",
+                "--scheme",
+                "LWT-4",
+                "--requests",
+                "500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme=LWT-4" in out
+        assert "cell writes by cause" in out
+
+    def test_simulate_with_instruction_override(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "lbm",
+                "--scheme",
+                "Ideal",
+                "--instructions",
+                "20000",
+            ]
+        )
+        assert code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_to_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--output",
+                str(out),
+                "--requests",
+                "1000",
+                "--schemes",
+                "Ideal",
+                "Hybrid",
+                "--workloads",
+                "gcc",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["runs"]) == {"gcc"}
+        assert set(payload["runs"]["gcc"]) == {"Ideal", "Hybrid"}
+        run = payload["runs"]["gcc"]["Hybrid"]
+        assert run["execution_time_ns"] > 0
+        assert "energy_by_category_pj" in run
+
+    def test_sweep_to_stdout(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--requests",
+                "1000",
+                "--schemes",
+                "Ideal",
+                "--workloads",
+                "gcc",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"runs"' in out

@@ -1,0 +1,39 @@
+"""Unit tests for the steady-state initial-age model."""
+
+import numpy as np
+import pytest
+
+from repro.core.agemodel import InitialAgeModel
+
+
+class TestInitialAges:
+    def test_deterministic(self, small_profile):
+        model = InitialAgeModel(small_profile, seed=5)
+        assert model.age_of(100) == model.age_of(100)
+
+    def test_different_lines_differ(self, small_profile):
+        model = InitialAgeModel(small_profile, seed=5)
+        ages = {model.age_of(line) for line in range(50)}
+        assert len(ages) > 45
+
+    def test_seed_changes_ages(self, small_profile):
+        a = InitialAgeModel(small_profile, seed=1)
+        b = InitialAgeModel(small_profile, seed=2)
+        assert a.age_of(10) != b.age_of(10)
+
+    def test_cold_lines_get_cold_age(self, small_profile):
+        model = InitialAgeModel(small_profile, seed=5)
+        assert model.age_of(small_profile.footprint_lines) == pytest.approx(
+            small_profile.cold_age_s
+        )
+
+    def test_hot_ages_exponential_mean(self, small_profile):
+        model = InitialAgeModel(small_profile, seed=5)
+        ages = np.asarray([model.age_of(line) for line in range(2000)])
+        assert ages.mean() == pytest.approx(
+            small_profile.hot_age_scale_s, rel=0.1
+        )
+
+    def test_min_age_floor(self, small_profile):
+        model = InitialAgeModel(small_profile, seed=5, min_age_s=3.0)
+        assert min(model.age_of(line) for line in range(500)) >= 3.0

@@ -1,0 +1,163 @@
+"""Unit + property tests for the LWT flag automaton and tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lwt import LwtLineFlags, QuantizedTracker, lwt_flag_bits
+
+
+class TestFlagBits:
+    def test_k4_needs_six_bits(self):
+        assert lwt_flag_bits(4) == 6  # 4 vector + 2 index
+
+    def test_k2_needs_three_bits(self):
+        assert lwt_flag_bits(2) == 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            lwt_flag_bits(3)
+
+
+class TestPaperFigure5Walkthrough:
+    """The exact sequence of the paper's Figure 5."""
+
+    def test_write_sets_bit_and_index(self):
+        flags = LwtLineFlags(k=4)
+        flags.on_write(2)
+        assert flags.vector == 0b0100
+        assert flags.ind == 2
+
+    def test_scrub1_clears_bits_before_last_write(self):
+        flags = LwtLineFlags(k=4, vector=0b0111, ind=2)
+        flags.on_scrub(rewrote=False)
+        # Bits 0 and 1 retired; bit 2 survives; new cycle starts.
+        assert flags.vector == 0b0100
+        assert flags.ind == 0
+
+    def test_read_r1_switches_to_m_sensing(self):
+        # After scrub1 the vector is 0b0100 with ind = 0; a read in
+        # sub-interval 2 discards bits [1, 2] and finds nothing left.
+        flags = LwtLineFlags(k=4, vector=0b0100, ind=0)
+        assert not flags.tracked_for_read(2)
+
+    def test_read_before_expiry_uses_r_sensing(self):
+        flags = LwtLineFlags(k=4, vector=0b0100, ind=0)
+        assert flags.tracked_for_read(1)
+
+    def test_scrub_with_ind_zero_clears_all(self):
+        flags = LwtLineFlags(k=4, vector=0b0100, ind=0)
+        flags.on_scrub(rewrote=False)
+        assert flags.vector == 0
+
+    def test_scrub_rewrite_sets_bit_zero(self):
+        flags = LwtLineFlags(k=4, vector=0, ind=0)
+        flags.on_scrub(rewrote=True)
+        assert flags.vector == 0b0001
+        assert flags.tracked_for_read(3)  # rewrite certifies the cycle
+
+
+class TestFlagAutomaton:
+    def test_empty_vector_forces_m(self):
+        flags = LwtLineFlags(k=4)
+        for s in range(4):
+            assert not flags.tracked_for_read(s)
+
+    def test_write_this_cycle_always_tracks(self):
+        flags = LwtLineFlags(k=4)
+        flags.on_scrub(rewrote=False)
+        flags.on_write(1)
+        for s in range(1, 4):
+            assert flags.tracked_for_read(s)
+
+    def test_write_clears_stale_intermediate_bits(self):
+        flags = LwtLineFlags(k=4, vector=0b0110, ind=1)
+        flags.on_write(3)  # bits in [2, 3) are stale leftovers
+        assert flags.vector & 0b0100 == 0
+        assert flags.vector & 0b1000
+        assert flags.ind == 3
+
+    def test_sub_interval_clamped(self):
+        flags = LwtLineFlags(k=4)
+        flags.on_write(99)  # clamps to k-1
+        assert flags.ind == 3
+
+    def test_rejects_negative_sub_interval(self):
+        flags = LwtLineFlags(k=4)
+        with pytest.raises(ValueError):
+            flags.on_write(-1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            LwtLineFlags(k=3)
+
+    @given(
+        events=st.lists(
+            st.tuples(st.sampled_from(["write", "scrub", "scrub_rw"]),
+                      st.integers(0, 3)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_property(self, events):
+        """The automaton never leaves its representable state space."""
+        flags = LwtLineFlags(k=4)
+        for kind, s in events:
+            if kind == "write":
+                flags.on_write(s)
+            else:
+                flags.on_scrub(rewrote=kind == "scrub_rw")
+            assert 0 <= flags.vector < 16
+            assert 0 <= flags.ind < 4
+            # The index-flag's bit is set whenever it points at a write.
+            if flags.ind != 0:
+                assert flags.vector & (1 << flags.ind)
+
+
+class TestQuantizedTracker:
+    def test_tracked_within_window(self):
+        tracker = QuantizedTracker(k=4, scrub_interval_s=640.0)
+        tracker.record_event(7, 1000.0)
+        assert tracker.is_tracked(7, 1000.0 + 300.0, default_last_s=0.0)
+
+    def test_untracked_beyond_window(self):
+        tracker = QuantizedTracker(k=4, scrub_interval_s=640.0)
+        tracker.record_event(7, 1000.0)
+        assert not tracker.is_tracked(7, 1000.0 + 2000.0, default_last_s=0.0)
+
+    def test_default_used_for_unknown_lines(self):
+        tracker = QuantizedTracker(k=4, scrub_interval_s=640.0)
+        assert tracker.is_tracked(3, 100.0, default_last_s=90.0)
+        assert not tracker.is_tracked(3, 100_000.0, default_last_s=0.0)
+
+    def test_conservative_quantization(self):
+        # A write at the very start of a sub-interval read k sub-intervals
+        # later is out of the flag window even though its true age can be
+        # just under S.
+        tracker = QuantizedTracker(k=4, scrub_interval_s=640.0)
+        sub = tracker.sub_len_s
+        tracker.record_event(1, 0.0)
+        assert not tracker.is_tracked(1, 4 * sub, default_last_s=0.0)
+        assert tracker.is_tracked(1, 4 * sub - 1e-6, default_last_s=0.0)
+
+    def test_never_allows_age_beyond_interval(self):
+        tracker = QuantizedTracker(k=4, scrub_interval_s=640.0)
+        for offset in (0.0, 10.0, 159.0, 320.0, 639.9):
+            tracker.record_event(0, 1000.0 + offset)
+            for age in (650.0, 1000.0, 10_000.0):
+                assert not tracker.is_tracked(
+                    0, 1000.0 + offset + age, default_last_s=0.0
+                )
+
+    def test_len_counts_tracked_lines(self):
+        tracker = QuantizedTracker(k=2, scrub_interval_s=640.0)
+        tracker.record_event(1, 0.0)
+        tracker.record_event(2, 0.0)
+        assert len(tracker) == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            QuantizedTracker(k=5, scrub_interval_s=640.0)
+        with pytest.raises(ValueError):
+            QuantizedTracker(k=4, scrub_interval_s=0.0)

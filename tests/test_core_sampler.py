@@ -1,0 +1,63 @@
+"""Unit tests for the drift-error sampler used by scheme policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import DriftErrorSampler
+from repro.pcm.params import M_METRIC, R_METRIC
+from repro.reliability.drift_prob import mean_cell_error_probability
+
+
+@pytest.fixture
+def sampler(rng):
+    return DriftErrorSampler(rng=rng)
+
+
+class TestInterpolation:
+    def test_matches_analytic_on_grid(self, sampler):
+        for age in (8.0, 640.0, 1e5):
+            interp = sampler.cell_error_probability(age, "R")
+            exact = float(mean_cell_error_probability(R_METRIC, age))
+            assert interp == pytest.approx(exact, rel=0.05)
+
+    def test_m_metric_table(self, sampler):
+        interp = sampler.cell_error_probability(640.0, "M")
+        exact = float(mean_cell_error_probability(M_METRIC, 640.0))
+        assert interp == pytest.approx(exact, rel=0.1)
+
+    def test_clamps_below_grid(self, sampler):
+        assert sampler.cell_error_probability(0.001, "R") == pytest.approx(
+            sampler.cell_error_probability(1.0, "R")
+        )
+
+    def test_clamps_above_grid(self, sampler):
+        assert sampler.cell_error_probability(1e12, "R") == pytest.approx(
+            sampler.cell_error_probability(1e8, "R")
+        )
+
+
+class TestSampling:
+    def test_fresh_lines_have_no_errors(self, sampler):
+        assert all(sampler.sample_errors(1.0, "R") == 0 for _ in range(50))
+
+    def test_sample_mean_tracks_expectation(self, rng):
+        sampler = DriftErrorSampler(rng=rng)
+        age = 640.0
+        draws = [sampler.sample_errors(age, "R") for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(
+            sampler.expected_errors(age, "R"), rel=0.1
+        )
+
+    def test_negligible_fast_path_skips_rng(self, rng):
+        sampler = DriftErrorSampler(rng=rng)
+        state_before = rng.bit_generator.state["state"]["state"]
+        sampler.sample_errors(1.0, "M")
+        state_after = rng.bit_generator.state["state"]["state"]
+        assert state_before == state_after
+
+    def test_deterministic_given_rng(self):
+        a = DriftErrorSampler(rng=np.random.default_rng(9))
+        b = DriftErrorSampler(rng=np.random.default_rng(9))
+        draws_a = [a.sample_errors(6400.0, "R") for _ in range(20)]
+        draws_b = [b.sample_errors(6400.0, "R") for _ in range(20)]
+        assert draws_a == draws_b

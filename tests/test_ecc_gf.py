@@ -1,0 +1,116 @@
+"""Unit + property tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GF2m, PRIMITIVE_POLYS, get_field
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def gf1024():
+    return get_field(10)
+
+
+class TestConstruction:
+    def test_sizes(self, gf16):
+        assert gf16.size == 16
+        assert gf16.order == 15
+
+    def test_rejects_unknown_m_without_poly(self):
+        with pytest.raises(ValueError):
+            GF2m(40)
+
+    def test_rejects_wrong_degree_poly(self):
+        with pytest.raises(ValueError):
+            GF2m(4, primitive_poly=0b1011)  # degree 3, not 4
+
+    def test_rejects_non_primitive_poly(self):
+        # x^4 + x^3 + x^2 + x + 1 has order 5, not 15.
+        with pytest.raises(ValueError):
+            GF2m(4, primitive_poly=0b11111)
+
+    def test_get_field_caches(self):
+        assert get_field(10) is get_field(10)
+
+
+class TestArithmetic:
+    def test_mul_by_zero(self, gf16):
+        assert gf16.mul(0, 7) == 0
+        assert gf16.mul(7, 0) == 0
+
+    def test_mul_by_one(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(1, a) == a
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+
+    def test_div_matches_mul_inv(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf16.div(a, b) == gf16.mul(a, gf16.inv(b))
+
+    def test_exp_log_roundtrip(self, gf16):
+        for a in range(1, 16):
+            assert gf16.exp(gf16.log(a)) == a
+
+    def test_log_zero_undefined(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.log(0)
+
+    def test_pow(self, gf16):
+        alpha = gf16.exp(1)
+        assert gf16.pow(alpha, gf16.order) == 1
+        assert gf16.pow(0, 0) == 1
+        assert gf16.pow(0, 3) == 0
+
+    @given(a=st.integers(1, 1023), b=st.integers(1, 1023), c=st.integers(1, 1023))
+    @settings(max_examples=60, deadline=None)
+    def test_mul_associative_property(self, gf1024, a, b, c):
+        left = gf1024.mul(gf1024.mul(a, b), c)
+        right = gf1024.mul(a, gf1024.mul(b, c))
+        assert left == right
+
+    @given(a=st.integers(0, 1023), b=st.integers(0, 1023))
+    @settings(max_examples=60, deadline=None)
+    def test_mul_commutative_property(self, gf1024, a, b):
+        assert gf1024.mul(a, b) == gf1024.mul(b, a)
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, gf16):
+        assert gf16.poly_eval([5], 9) == 5
+
+    def test_poly_eval_linear(self, gf16):
+        # p(x) = 3 + 2x at x = 1 -> 3 ^ 2 = 1.
+        assert gf16.poly_eval([3, 2], 1) == 1
+
+    def test_poly_mul_degree(self, gf16):
+        product = gf16.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2
+        assert product == [1, 0, 1]
+
+    def test_poly_mul_zero(self, gf16):
+        assert gf16.poly_mul([], [1, 2]) == []
+
+    def test_minimal_polynomial_of_alpha(self, gf16):
+        # alpha's minimal polynomial is the primitive polynomial itself.
+        assert gf16.minimal_polynomial(1) == PRIMITIVE_POLYS[4]
+
+    def test_minimal_polynomial_divides_field_poly(self, gf16):
+        # Every minimal polynomial's roots satisfy x^15 = 1; check that
+        # each conjugate is a root.
+        mask = gf16.minimal_polynomial(3)
+        coeffs = [(mask >> i) & 1 for i in range(mask.bit_length())]
+        for power in (3, 6, 12, 9):  # conjugacy class of alpha^3
+            assert gf16.poly_eval(coeffs, gf16.exp(power)) == 0

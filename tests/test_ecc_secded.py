@@ -1,0 +1,62 @@
+"""Unit tests for the (72, 64) SECDED code used by the TLC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.secded import Secded7264, SecdedStatus
+
+
+@pytest.fixture(scope="module")
+def code():
+    return Secded7264()
+
+
+class TestEncode:
+    def test_codeword_length(self, code, rng):
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        assert code.encode(data).shape == (72,)
+
+    def test_rejects_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(60, dtype=np.uint8))
+
+    def test_clean_decode(self, code, rng):
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is SecdedStatus.CLEAN
+        assert (result.data_bits == data).all()
+
+
+class TestSingleErrors:
+    @pytest.mark.parametrize("position", [0, 1, 2, 3, 5, 17, 64, 71])
+    def test_corrects_any_single_flip(self, code, rng, position):
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        cw = code.encode(data)
+        cw[position] ^= 1
+        result = code.decode(cw)
+        assert result.status is SecdedStatus.CORRECTED
+        assert (result.data_bits == data).all()
+
+    def test_exhaustive_single_error(self, code, rng):
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        cw = code.encode(data)
+        for position in range(72):
+            bad = cw.copy()
+            bad[position] ^= 1
+            result = code.decode(bad)
+            assert result.ok and (result.data_bits == data).all(), position
+
+
+class TestDoubleErrors:
+    def test_detects_sampled_doubles(self, code, rng):
+        data = rng.integers(0, 2, 64).astype(np.uint8)
+        cw = code.encode(data)
+        for _ in range(200):
+            pos = rng.choice(72, 2, replace=False)
+            bad = cw.copy()
+            bad[pos] ^= 1
+            assert code.decode(bad).status is SecdedStatus.DETECTED_DOUBLE
+
+    def test_rejects_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(71, dtype=np.uint8))

@@ -1,0 +1,71 @@
+"""Tests for the reproduction's own design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_conversion_throttle,
+    ablation_scrub_contention,
+    ablation_write_cancellation,
+)
+
+FAST = dict(target_requests=3_000)
+
+
+class TestScrubContention:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_scrub_contention(workloads=("mcf", "gcc"), **FAST)
+
+    def test_contention_costs_performance(self, result):
+        geomean = result.rows[-1]
+        assert geomean[1] > geomean[2]
+
+    def test_free_scrub_near_ideal(self, result):
+        geomean = result.rows[-1]
+        assert geomean[2] < 1.05
+
+
+class TestWriteCancellation:
+    def test_cancellation_reduces_read_latency(self):
+        result = ablation_write_cancellation(workloads=("lbm",), **FAST)
+        row = result.rows[0]
+        with_cancel, without = row[1], row[2]
+        assert with_cancel <= without
+        assert row[3] > 0  # some writes actually got cancelled
+
+
+class TestConversionThrottle:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_conversion_throttle(target_requests=4_000)
+
+    def _by_variant(self, result):
+        return {row[0]: row for row in result.rows}
+
+    def test_always_converting_is_fastest(self, result):
+        rows = self._by_variant(result)
+        assert rows["always convert (T=100)"][1] <= rows["never convert (T=0)"][1]
+
+    def test_never_converting_preserves_lifetime(self, result):
+        rows = self._by_variant(result)
+        assert rows["never convert (T=0)"][3] >= rows["always convert (T=100)"][3]
+
+    def test_adaptive_between_extremes_on_conversions(self, result):
+        rows = self._by_variant(result)
+        adaptive = rows["adaptive (paper)"][4]
+        always = rows["always convert (T=100)"][4]
+        never = rows["never convert (T=0)"][4]
+        assert never == 0
+        assert 0 < adaptive <= always
+
+
+class TestWriteTruncationAblation:
+    def test_truncation_helps_or_neutral(self):
+        from repro.experiments.ablations import ablation_write_truncation
+
+        result = ablation_write_truncation(
+            workloads=("lbm",), **FAST
+        )
+        row = result.rows[0]
+        assert row[2] <= row[1] + 0.02  # truncated never meaningfully slower
+        assert row[3] > 0

@@ -1,0 +1,72 @@
+"""Tests for the fast (non-sweep) figure drivers."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return EXPERIMENTS["figure1"](num_lines=256)
+
+    def test_four_levels(self, result):
+        assert len(result.rows) == 4
+
+    def test_means_shift_upward(self, result):
+        i0 = result.headers.index("mean log10R @t0")
+        it = result.headers.index("mean log10R @t")
+        for row in result.rows[:3]:  # drifting levels
+            assert row[it] > row[i0]
+
+    def test_top_level_never_drifts_into_error(self, result):
+        row = result.rows[3]
+        assert row[result.headers.index("drifted (MC)")] == 0.0
+
+    def test_mc_matches_analytic(self, result):
+        imc = result.headers.index("drifted (MC)")
+        ian = result.headers.index("drifted (analytic)")
+        for row in result.rows:
+            assert row[imc] == pytest.approx(row[ian], abs=0.01)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return EXPERIMENTS["figure2"]()
+
+    def test_r_metric_monotone(self, result):
+        r = [row[3] for row in result.rows[:4]]
+        assert r == sorted(r)
+
+    def test_separation_row_present(self, result):
+        sep = result.row_by("level", "separation")
+        assert sep[4] > 1.0  # M separation
+
+
+class TestFigure5:
+    def test_walkthrough_matches_paper(self):
+        result = EXPERIMENTS["figure5"]()
+        decisions = {row[0]: row[3] for row in result.rows}
+        assert decisions["R1 (read, sub-interval 2)"] == "M-sensing"
+        assert decisions["read @sub-interval 1"] == "R-sensing"
+        # scrub3 leaves the vector empty.
+        assert result.rows[-1][1] == "0000"
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return EXPERIMENTS["figure6"](num_lines=128)
+
+    def test_differential_margin_smaller(self, result):
+        margin = {row[0]: row[2] for row in result.rows}
+        assert margin["differential write"] < margin["full-line write"]
+
+    def test_differential_more_errors_later(self, result):
+        errors = {row[0]: row[3] for row in result.rows}
+        assert errors["differential write"] > errors["full-line write"]
+
+    def test_same_prewrite_error_rate(self, result):
+        pre = [row[1] for row in result.rows]
+        assert pre[0] == pytest.approx(pre[1])

@@ -1,0 +1,64 @@
+"""Unit tests for result containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, format_value, geometric_mean
+
+
+class TestFormatValue:
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(3.5e-14)
+
+    def test_normal_floats_fixed(self):
+        assert format_value(1.234) == "1.234"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment_id="tableX",
+            title="Example",
+            headers=["name", "value"],
+            rows=[["a", 1.0], ["b", 2.0]],
+            notes="a note",
+        )
+
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "tableX" in text
+        assert "Example" in text
+        assert "a note" in text
+        assert "1.000" in text
+
+    def test_column(self, result):
+        assert result.column("value") == [1.0, 2.0]
+
+    def test_row_by(self, result):
+        assert result.row_by("name", "b") == ["b", 2.0]
+
+    def test_row_by_missing(self, result):
+        with pytest.raises(KeyError):
+            result.row_by("name", "zz")
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,95 @@
+"""Tests for the Table I-X experiment drivers (analytic, fast)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.reliability.targets import DRAM_TARGET
+
+
+class TestTable1And2:
+    def test_table1_rows(self):
+        result = EXPERIMENTS["table1"]()
+        assert len(result.rows) == 4
+        assert result.column("data") == ["01", "11", "10", "00"]
+
+    def test_table2_means_shifted(self):
+        t1 = EXPERIMENTS["table1"]()
+        t2 = EXPERIMENTS["table2"]()
+        mu_r = t1.column("mu(log10 R)")
+        mu_m = t2.column("mu(log10 M)")
+        for r, m in zip(mu_r, mu_m):
+            assert m == pytest.approx(r - 4.0)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table3(self):
+        return EXPERIMENTS["table3"]()
+
+    def test_has_target_column(self, table3):
+        assert table3.headers[-1] == "target"
+
+    def test_unprotected_at_8s_matches_paper(self, table3):
+        row = table3.row_by("S (s)", 8)
+        value = row[table3.headers.index("E=0")]
+        assert value == pytest.approx(7.09e-2, rel=0.1)
+
+    def test_bch8_safe_exactly_up_to_8s(self, table3):
+        idx_e8 = table3.headers.index("E=8")
+        idx_target = table3.headers.index("target")
+        safe = {
+            row[0]: row[idx_e8] <= row[idx_target] for row in table3.rows
+        }
+        assert safe[8]
+        assert not safe[16]
+
+    def test_ler_monotone_in_interval(self, table3):
+        column = [row[table3.headers.index("E=0")] for row in table3.rows]
+        assert column == sorted(column)
+
+
+class TestTable4:
+    def test_m_sensing_safe_at_640(self):
+        result = EXPERIMENTS["table4"]()
+        row = result.row_by("S (s)", 640)
+        e8 = row[result.headers.index("E=8")]
+        assert e8 < DRAM_TARGET.budget_for_interval(640)
+
+    def test_m_sensing_much_safer_than_r(self):
+        t3 = EXPERIMENTS["table3"]()
+        t4 = EXPERIMENTS["table4"]()
+        r_640 = t3.row_by("S (s)", 640)[t3.headers.index("E=8")]
+        m_640 = t4.row_by("S (s)", 640)[t4.headers.index("E=8")]
+        assert m_640 < 1e-6 * r_640
+
+
+class TestTable5:
+    def test_paper_verdicts(self):
+        result = EXPERIMENTS["table5"]()
+        verdicts = {row[0]: row[-1] for row in result.rows}
+        assert verdicts["R(BCH=8,S=8,W=1)"] is False
+        assert verdicts["R(BCH=10,S=8,W=1)"] is True
+        assert verdicts["M(BCH=8,S=640,W=1)"] is True
+
+
+class TestTable7:
+    def test_overhead_row_near_paper(self):
+        result = EXPERIMENTS["table7"]()
+        overhead = result.row_by("component", "hybrid-over-baseline overhead")
+        assert overhead[1] == pytest.approx(0.0027, abs=0.0005)
+
+
+class TestConfigTables:
+    def test_table8_mentions_latencies(self):
+        text = EXPERIMENTS["table8"]().render()
+        assert "150" in text and "450" in text and "1000" in text
+
+    def test_table9_write_dominates(self):
+        result = EXPERIMENTS["table9"]()
+        assert any("pJ/cell" in str(row[1]) for row in result.rows)
+
+    def test_table10_fourteen_workloads(self):
+        result = EXPERIMENTS["table10"]()
+        assert len(result.rows) == 14
+        names = result.column("workload")
+        assert "mcf" in names and "sphinx3" in names

@@ -1,0 +1,199 @@
+"""End-to-end integration tests: paper-shape assertions across the stack.
+
+These tests run real traces through real policies on the real engine and
+assert the *relationships* the paper reports — who wins, in which metric,
+and roughly by how much. They are the reproduction's acceptance tests.
+"""
+
+import pytest
+
+from repro import quick_compare
+from repro.ecc.bch import bch8_for_line
+from repro.memsim.config import MemoryConfig
+from repro.pcm.data import bytes_to_levels, levels_to_bytes
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def mcf_results():
+    return quick_compare("mcf", target_requests=8_000)
+
+
+@pytest.fixture(scope="module")
+def sphinx_results():
+    return quick_compare(
+        "sphinx3",
+        schemes=("Ideal", "M-metric", "Hybrid", "LWT-4", "LWT-4-noconv"),
+        target_requests=8_000,
+    )
+
+
+class TestPaperShapeOnMcf:
+    def test_scrubbing_and_m_degrade_performance(self, mcf_results):
+        ideal = mcf_results["Ideal"].execution_time_ns
+        assert mcf_results["Scrubbing"].execution_time_ns > 1.1 * ideal
+        assert mcf_results["M-metric"].execution_time_ns > 1.3 * ideal
+
+    def test_hybrid_close_to_ideal(self, mcf_results):
+        ideal = mcf_results["Ideal"].execution_time_ns
+        assert mcf_results["Hybrid"].execution_time_ns < 1.12 * ideal
+
+    def test_readduo_beats_both_baselines(self, mcf_results):
+        for scheme in ("Hybrid", "LWT-4", "Select-4:2"):
+            assert (
+                mcf_results[scheme].execution_time_ns
+                < mcf_results["Scrubbing"].execution_time_ns
+            )
+            assert (
+                mcf_results[scheme].execution_time_ns
+                < mcf_results["M-metric"].execution_time_ns
+            )
+
+    def test_select_saves_energy_and_lifetime(self, mcf_results):
+        ideal = mcf_results["Ideal"]
+        select = mcf_results["Select-4:2"]
+        assert select.dynamic_energy_pj < ideal.dynamic_energy_pj
+        assert select.total_cell_writes < ideal.total_cell_writes
+
+    def test_read_modes_match_design(self, mcf_results):
+        assert mcf_results["Ideal"].mode_fraction("R") == 1.0
+        assert mcf_results["M-metric"].mode_fraction("M") == 1.0
+        assert mcf_results["Hybrid"].mode_fraction("R") > 0.99
+        assert mcf_results["LWT-4"].mode_fraction("RM") < 0.2
+
+    def test_no_silent_corruption_in_short_runs(self, mcf_results):
+        # P(>17 errors) within a 640 s window is ~1e-12 per read; any
+        # occurrence in an 8k-request run means the model is broken.
+        for stats in mcf_results.values():
+            assert stats.silent_corruptions == 0
+
+    def test_scrub_volume_ordering(self, mcf_results):
+        # S=8 s scrubbing visits ~80x more lines than S=640 s schemes.
+        assert (
+            mcf_results["Scrubbing"].scrub_ops
+            > 20 * mcf_results["Hybrid"].scrub_ops
+        )
+
+
+class TestPaperShapeOnSphinx:
+    def test_conversion_pays_off(self, sphinx_results):
+        conv = sphinx_results["LWT-4"].execution_time_ns
+        noconv = sphinx_results["LWT-4-noconv"].execution_time_ns
+        assert conv < noconv
+
+    def test_lwt_with_conversion_beats_m_metric(self, sphinx_results):
+        assert (
+            sphinx_results["LWT-4"].execution_time_ns
+            < sphinx_results["M-metric"].execution_time_ns
+        )
+
+    def test_noconv_pays_rm_reads(self, sphinx_results):
+        assert sphinx_results["LWT-4-noconv"].mode_fraction("RM") > 0.5
+
+    def test_conversions_counted(self, sphinx_results):
+        assert sphinx_results["LWT-4"].conversions > 0
+        assert sphinx_results["LWT-4-noconv"].conversions == 0
+
+
+class TestReadoutPathWithRealEcc:
+    """The full ReadDuo read path on real cells with the real BCH code."""
+
+    def test_drifted_line_recovered_via_hybrid_path(self, rng):
+        from repro.pcm.array import CellArray
+        from repro.pcm.data import symbol_bit_errors
+
+        code = bch8_for_line()
+        payload = rng.integers(0, 2, 512).astype(np.uint8)
+        codeword = code.encode(payload)
+        # Store the 592-bit codeword in 296 MLC cells.
+        cells = 296
+        bits = np.zeros(2 * cells, dtype=np.uint8)
+        bits[: code.n] = codeword
+        packed = bits.reshape(-1, 2)
+        symbols = (packed[:, 0] << 1) | packed[:, 1]
+        from repro.pcm.data import symbols_to_levels, levels_to_symbols
+
+        levels = symbols_to_levels(symbols)
+        array = CellArray(
+            1, cells, rng=rng, initial_levels=levels[None, :], start_time_s=0.0
+        )
+        # Sense with R-metric after heavy aging, decode, compare.
+        sensed = array.read_line(0, 1.0e5, "R").sensed_levels
+        sensed_symbols = levels_to_symbols(sensed)
+        sensed_bits = np.zeros(2 * cells, dtype=np.uint8)
+        sensed_bits[0::2] = (sensed_symbols >> 1) & 1
+        sensed_bits[1::2] = sensed_symbols & 1
+        received = sensed_bits[: code.n]
+        result = code.decode(received)
+        if result.ok:
+            assert (result.data_bits == payload).all()
+        else:
+            # Too many drift errors for correction: the hybrid path would
+            # retry with M-sensing, which must come back clean enough.
+            sensed_m = array.read_line(0, 1.0e5, "M").sensed_levels
+            m_symbols = levels_to_symbols(sensed_m)
+            m_bits = np.zeros(2 * cells, dtype=np.uint8)
+            m_bits[0::2] = (m_symbols >> 1) & 1
+            m_bits[1::2] = m_symbols & 1
+            m_result = code.decode(m_bits[: code.n])
+            assert m_result.ok
+            assert (m_result.data_bits == payload).all()
+
+
+class TestDataPathRoundtrip:
+    def test_bytes_survive_fresh_storage(self, rng):
+        from repro.pcm.array import CellArray
+
+        data = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        levels = bytes_to_levels(data)
+        array = CellArray(
+            1, 256, rng=rng, initial_levels=levels[None, :], start_time_s=0.0
+        )
+        sensed = array.read_line(0, 1.0, "R").sensed_levels
+        assert levels_to_bytes(sensed) == data
+
+
+class TestCrossSchemeInvariants:
+    def test_same_trace_same_demand_traffic(self, mcf_results):
+        reads = {s.reads for s in mcf_results.values()}
+        writes = {s.writes for s in mcf_results.values()}
+        assert len(reads) == 1
+        assert len(writes) == 1
+
+    def test_energy_consistency(self, mcf_results):
+        for stats in mcf_results.values():
+            assert stats.dynamic_energy_pj == pytest.approx(
+                sum(stats.energy.by_category.values())
+            )
+
+    def test_instruction_counts_identical(self, mcf_results):
+        counts = {s.instructions for s in mcf_results.values()}
+        assert len(counts) == 1
+
+
+class TestConfigurationVariants:
+    def test_more_banks_never_slower(self, small_profile):
+        from repro import generate_trace, make_policy, simulate, PolicyContext
+
+        trace = generate_trace(small_profile, 100_000, seed=4)
+        times = {}
+        for banks in (2, 8):
+            config = MemoryConfig(total_lines=1 << 16, num_banks=banks)
+            policy = make_policy(
+                "Ideal", PolicyContext(profile=small_profile, config=config)
+            )
+            times[banks] = simulate(trace, policy, config).execution_time_ns
+        assert times[8] <= times[2]
+
+    def test_bigger_memory_scrubs_more(self, small_profile):
+        from repro import generate_trace, make_policy, simulate, PolicyContext
+
+        trace = generate_trace(small_profile, 200_000, seed=4)
+        ops = {}
+        for lines in (1 << 20, 1 << 24):
+            config = MemoryConfig(total_lines=lines, num_banks=8)
+            policy = make_policy(
+                "Scrubbing", PolicyContext(profile=small_profile, config=config)
+            )
+            ops[lines] = simulate(trace, policy, config).scrub_ops
+        assert ops[1 << 24] > ops[1 << 20]

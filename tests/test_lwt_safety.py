@@ -1,0 +1,128 @@
+"""The LWT safety property: a certified R-read implies true age < S.
+
+R-sensing is only reliable within one scrub interval of the line's last
+write (paper Section III-B/C). Both LWT implementations — the Figure 5
+flag automaton and the simulator's quantized tracker — must therefore
+satisfy: *whenever they certify R-sensing, the line's last
+drift-resetting write is strictly less than S seconds in the past.*
+These hypothesis tests drive both implementations with random event
+schedules and check the property at every read.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lwt import LwtLineFlags, QuantizedTracker
+
+S = 640.0
+K = 4
+SUB = S / K
+
+
+class TestAutomatonSafety:
+    @given(
+        write_times=st.lists(
+            st.floats(min_value=0.0, max_value=10 * S), min_size=1, max_size=8
+        ),
+        read_offsets=st.lists(
+            st.floats(min_value=0.0, max_value=3 * S), min_size=1, max_size=6
+        ),
+        rewrite_on_scrub=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_certified_r_read_implies_age_below_s(
+        self, write_times, read_offsets, rewrite_on_scrub
+    ):
+        """Replay writes/scrubs/reads in time order; check every read."""
+        flags = LwtLineFlags(k=K)
+        writes = sorted(write_times)
+        horizon = writes[-1] + max(read_offsets) + S
+        # Scrubs at every multiple of S (the per-line sweep); a scrub that
+        # rewrites resets the drift clock too.
+        events = [("scrub", (n + 1) * S) for n in range(int(horizon / S) + 1)]
+        events += [("write", t) for t in writes]
+        events += [("read", writes[-1] + off) for off in read_offsets]
+        events.sort(key=lambda e: (e[1], e[0] != "scrub"))
+
+        last_reset = None  # time of the last write or scrub-rewrite
+        last_scrub = 0.0
+        for kind, t in events:
+            if kind == "write":
+                rel = int((t - last_scrub) // SUB)
+                flags.on_write(rel)
+                last_reset = t
+            elif kind == "scrub":
+                flags.on_scrub(rewrote=rewrite_on_scrub)
+                if rewrite_on_scrub:
+                    last_reset = t
+                last_scrub = t
+            else:  # read
+                rel = int((t - last_scrub) // SUB)
+                if flags.tracked_for_read(rel) and last_reset is not None:
+                    age = t - last_reset
+                    assert age < S + 1e-6, (
+                        f"flags certified R-sensing at age {age:.1f}s"
+                    )
+
+
+class TestTrackerSafety:
+    @given(
+        write_time=st.floats(min_value=0.0, max_value=50 * S),
+        read_offset=st.floats(min_value=0.0, max_value=5 * S),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_certified_read_age_below_s(self, write_time, read_offset):
+        tracker = QuantizedTracker(k=K, scrub_interval_s=S)
+        tracker.record_event(0, write_time)
+        read_time = write_time + read_offset
+        if tracker.is_tracked(0, read_time, default_last_s=0.0):
+            assert read_offset < S + 1e-6
+
+    @given(
+        write_time=st.floats(min_value=0.0, max_value=50 * S),
+        read_offset=st.floats(min_value=0.0, max_value=5 * S),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tracker_never_more_permissive_than_exact_window(
+        self, write_time, read_offset
+    ):
+        """Quantization may only *shrink* the R-eligible window."""
+        tracker = QuantizedTracker(k=K, scrub_interval_s=S)
+        tracker.record_event(0, write_time)
+        read_time = write_time + read_offset
+        tracked = tracker.is_tracked(0, read_time, default_last_s=0.0)
+        exact_window = read_offset < S
+        if tracked:
+            assert exact_window
+
+
+class TestCrossImplementationAgreement:
+    @pytest.mark.parametrize("write_sub", range(K))
+    @pytest.mark.parametrize("read_cycle", [0, 1, 2])
+    def test_decisions_agree_on_aligned_schedules(self, write_sub, read_cycle):
+        """With scrubs on the absolute S-grid, both implementations make
+        the same decision for any (write sub-interval, read sub-interval)
+        pair."""
+        for read_sub in range(K):
+            write_time = write_sub * SUB + SUB / 2
+            read_time = read_cycle * S + read_sub * SUB + SUB * 0.75
+            if read_time <= write_time:
+                continue
+            # Automaton.
+            flags = LwtLineFlags(k=K)
+            n_scrubs_before_write = int(write_time // S)
+            for _ in range(n_scrubs_before_write):
+                flags.on_scrub(rewrote=False)
+            flags.on_write(write_sub)
+            for _ in range(int(read_time // S) - n_scrubs_before_write):
+                flags.on_scrub(rewrote=False)
+            automaton = flags.tracked_for_read(read_sub)
+            # Tracker.
+            tracker = QuantizedTracker(k=K, scrub_interval_s=S)
+            tracker.record_event(0, write_time)
+            quantized = tracker.is_tracked(0, read_time, default_last_s=0.0)
+            assert automaton == quantized, (
+                f"write sub {write_sub}, read cycle {read_cycle} "
+                f"sub {read_sub}: automaton={automaton} tracker={quantized}"
+            )

@@ -1,0 +1,45 @@
+"""Unit tests for the memory-system configuration."""
+
+import pytest
+
+from repro.memsim.config import DEFAULT_EPOCH_S, MemoryConfig
+
+
+class TestMemoryConfig:
+    def test_defaults_match_paper_platform(self):
+        config = MemoryConfig()
+        assert config.num_cores == 4
+        assert config.total_lines * 64 == 2 << 30  # 2 GiB
+        assert config.timing.r_read_ns == 150.0
+        assert config.timing.m_read_ns == 450.0
+        assert config.timing.write_ns == 1000.0
+
+    def test_bank_interleaving(self):
+        config = MemoryConfig(num_banks=8)
+        assert config.bank_of(0) == 0
+        assert config.bank_of(9) == 1
+        assert config.lines_per_bank == config.total_lines // 8
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(num_banks=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(total_lines=4, num_banks=8)
+
+    def test_rejects_bad_watermark(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(write_queue_depth=8, write_drain_watermark=9)
+
+    def test_rejects_bad_cancel_threshold(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(cancel_threshold=1.5)
+
+    def test_rejects_bad_scrub_op_size(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(lines_per_scrub_op=0)
+
+    def test_epoch_not_aligned_to_subintervals(self):
+        # The epoch phase must not sit exactly on 160 s / 320 s boundaries
+        # (see config.py comment).
+        assert DEFAULT_EPOCH_S % 160 not in (0.0,)
+        assert DEFAULT_EPOCH_S % 320 not in (0.0,)

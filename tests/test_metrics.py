@@ -1,0 +1,98 @@
+"""Unit tests for EDAP and lifetime metrics."""
+
+import pytest
+
+from repro.memsim.stats import RunStats
+from repro.metrics.edap import compute_edap
+from repro.metrics.lifetime import lifetime_ratios, wear_breakdown
+
+
+def _stats(scheme, exec_ns, energy_pj, cell_writes):
+    stats = RunStats(scheme=scheme, workload="w")
+    stats.execution_time_ns = exec_ns
+    stats.energy.by_category["write"] = energy_pj
+    stats.wear.add_cells("demand", cell_writes)
+    return stats
+
+
+@pytest.fixture
+def sweep():
+    return {
+        "Ideal": _stats("Ideal", 1e6, 1e6, 1000),
+        "TLC": _stats("TLC", 1e6, 1e6, 1200),
+        "Scrubbing": _stats("Scrubbing", 1.2e6, 1.2e6, 1150),
+        "Select-4:2": _stats("Select-4:2", 1.03e6, 0.7e6, 700),
+    }
+
+
+class TestEdap:
+    def test_reference_is_unity(self, sweep):
+        entries = compute_edap(sweep, reference="TLC")
+        assert entries["TLC"].edap == pytest.approx(1.0)
+
+    def test_select_beats_tlc(self, sweep):
+        entries = compute_edap(sweep, reference="TLC")
+        select = entries["Select-4:2"]
+        # Better energy AND better area than TLC.
+        assert select.edap < 1.0
+        assert select.area < 1.0
+        assert select.improvement_over_reference() > 0
+
+    def test_components_multiply(self, sweep):
+        entry = compute_edap(sweep, reference="TLC")["Scrubbing"]
+        assert entry.edap == pytest.approx(
+            entry.delay * entry.energy * entry.area
+        )
+
+    def test_system_energy_needs_lines(self, sweep):
+        with pytest.raises(ValueError):
+            compute_edap(sweep, reference="TLC", system_energy=True)
+
+    def test_system_energy_changes_result(self, sweep):
+        dynamic = compute_edap(sweep, reference="TLC")
+        system = compute_edap(
+            sweep, reference="TLC", system_energy=True, total_lines=1 << 24
+        )
+        # Select's dynamic energy advantage shrinks once background power
+        # (proportional to runtime, not activity) is included.
+        assert (
+            system["Select-4:2"].energy > dynamic["Select-4:2"].energy
+        )
+
+    def test_missing_reference_raises(self, sweep):
+        with pytest.raises(KeyError):
+            compute_edap(sweep, reference="Missing")
+
+    def test_unknown_scheme_area_raises(self, sweep):
+        sweep["Mystery"] = _stats("Mystery", 1e6, 1e6, 100)
+        with pytest.raises(KeyError):
+            compute_edap(sweep, reference="TLC")
+
+
+class TestLifetime:
+    def test_ratios(self, sweep):
+        ratios = lifetime_ratios(sweep)
+        assert ratios["Ideal"] == pytest.approx(1.0)
+        assert ratios["Select-4:2"] == pytest.approx(1000 / 700)
+        assert ratios["Scrubbing"] < 1.0
+
+    def test_missing_baseline_raises(self, sweep):
+        with pytest.raises(KeyError):
+            lifetime_ratios(sweep, baseline="Nope")
+
+    def test_zero_writes_infinite(self, sweep):
+        sweep["NoWrites"] = RunStats(scheme="NoWrites", workload="w")
+        sweep["NoWrites"].execution_time_ns = 1.0
+        ratios = lifetime_ratios(sweep)
+        assert ratios["NoWrites"] == float("inf")
+
+    def test_wear_breakdown_fractions(self):
+        stats = RunStats(scheme="x", workload="w")
+        stats.wear.add_cells("demand", 300)
+        stats.wear.add_cells("scrub", 100)
+        breakdown = wear_breakdown(stats)
+        assert breakdown["demand"] == pytest.approx(0.75)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_wear_breakdown_empty(self):
+        assert wear_breakdown(RunStats(scheme="x", workload="w")) == {}

@@ -1,0 +1,62 @@
+"""Unit tests for area and cells-per-line budgets."""
+
+import pytest
+
+from repro.pcm.area import (
+    BCH8_CHECK_BITS,
+    DATA_BITS_PER_LINE,
+    SubarrayAreaModel,
+    mlc_line_budget,
+    normalized_area,
+    scheme_cell_counts,
+    tlc_line_budget,
+)
+
+
+class TestSubarrayArea:
+    def test_overhead_near_paper_value(self):
+        # The paper reports 0.27% overall area increase.
+        overhead = SubarrayAreaModel().overhead_fraction()
+        assert overhead == pytest.approx(0.0027, abs=0.0005)
+
+    def test_occupancy_sums_to_one(self):
+        table = SubarrayAreaModel().occupancy_table()
+        assert sum(table.values()) == pytest.approx(1.0)
+
+    def test_voltage_sense_smaller_than_current(self):
+        model = SubarrayAreaModel()
+        assert model.voltage_sense < model.current_sense
+
+
+class TestLineBudgets:
+    def test_mlc_budget_is_296_cells(self):
+        budget = mlc_line_budget("Ideal")
+        assert budget.mlc_cells == (DATA_BITS_PER_LINE + BCH8_CHECK_BITS) // 2
+        assert budget.mlc_cells == 296
+        assert budget.slc_cells == 0
+
+    def test_lwt4_adds_six_flag_cells(self):
+        budget = mlc_line_budget("LWT-4", lwt_k=4)
+        assert budget.slc_cells == 6  # k + log2 k
+        assert budget.total_cells == 302
+
+    def test_lwt_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            mlc_line_budget("LWT-3", lwt_k=3)
+
+    def test_tlc_budget_is_384_cells(self):
+        budget = tlc_line_budget()
+        assert budget.mlc_cells == 384
+        assert budget.bits_per_cell == 1.5
+
+    def test_mlc_denser_than_tlc(self):
+        assert normalized_area(mlc_line_budget("Ideal"), tlc_line_budget()) < 0.8
+
+    def test_scheme_counts_cover_figure11(self):
+        counts = scheme_cell_counts(lwt_k=4)
+        for name in ("Ideal", "Scrubbing", "M-metric", "TLC", "Hybrid",
+                     "LWT-4", "Select-4"):
+            assert name in counts
+
+    def test_tlc_normalized_to_itself_is_one(self):
+        assert normalized_area(tlc_line_budget(), tlc_line_budget()) == 1.0

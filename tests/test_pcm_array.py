@@ -1,0 +1,157 @@
+"""Unit tests for the vectorized MLC cell array."""
+
+import numpy as np
+import pytest
+
+from repro.pcm.array import CellArray
+from repro.pcm.params import M_METRIC, R_METRIC
+
+
+@pytest.fixture
+def array(rng):
+    return CellArray(num_lines=16, cells_per_line=64, rng=rng, start_time_s=0.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            CellArray(num_lines=0, rng=rng)
+
+    def test_respects_initial_levels(self, rng):
+        levels = np.full((4, 8), 2)
+        array = CellArray(4, 8, rng=rng, initial_levels=levels)
+        assert (array.levels == 2).all()
+
+    def test_rejects_wrong_initial_shape(self, rng):
+        with pytest.raises(ValueError):
+            CellArray(4, 8, rng=rng, initial_levels=np.zeros((2, 8), dtype=int))
+
+    def test_initial_write_counts_are_one(self, array):
+        assert (array.write_count == 1).all()
+
+
+class TestReads:
+    def test_fresh_read_is_correct(self, array):
+        for line in range(array.num_lines):
+            result = array.read_line(line, 0.0, "R")
+            assert result.correct
+            assert (result.sensed_levels == array.levels[line]).all()
+
+    def test_m_read_fresh_is_correct(self, array):
+        result = array.read_line(0, 0.0, "M")
+        assert result.correct
+
+    def test_unknown_metric_rejected(self, array):
+        with pytest.raises(ValueError):
+            array.read_line(0, 0.0, "Q")
+
+    def test_errors_grow_with_age(self, rng):
+        array = CellArray(200, 256, rng=rng, start_time_s=0.0)
+        early = int(array.count_drift_errors(8.0, "R").sum())
+        late = int(array.count_drift_errors(6400.0, "R").sum())
+        assert late > early
+
+    def test_m_metric_more_drift_tolerant(self, rng):
+        array = CellArray(200, 256, rng=rng, start_time_s=0.0)
+        at = 100_000.0
+        errors_r = int(array.count_drift_errors(at, "R").sum())
+        errors_m = int(array.count_drift_errors(at, "M").sum())
+        assert errors_m < errors_r
+
+
+class TestWrites:
+    def test_full_write_returns_cell_count(self, array):
+        levels = np.full(64, 1)
+        assert array.write_line(0, levels, 10.0) == 64
+        assert (array.levels[0] == 1).all()
+        assert (array.write_time[0] == 10.0).all()
+
+    def test_full_write_increments_counts(self, array):
+        array.write_line(0, np.full(64, 1), 10.0)
+        assert (array.write_count[0] == 2).all()
+
+    def test_differential_write_touches_changed_cells_only(self, array):
+        before = array.levels[3].copy()
+        target = before.copy()
+        target[:10] = (target[:10] + 1) % 4
+        written = array.write_line_differential(3, target, 5.0)
+        assert written == int((target != before).sum())
+        untouched = array.write_time[3][10:]
+        assert (untouched == 0.0).all()
+
+    def test_differential_write_noop_when_same(self, array):
+        target = array.levels[2].copy()
+        assert array.write_line_differential(2, target, 5.0) == 0
+
+    def test_rewrite_in_place_resets_drift(self, rng):
+        levels = np.full((1, 256), 2)
+        array = CellArray(1, 256, rng=rng, initial_levels=levels, start_time_s=0.0)
+        t = 640.0
+        array.rewrite_line_in_place(0, t)
+        # Immediately after the refresh the line senses clean.
+        assert array.read_line(0, t, "R").correct
+
+    def test_rewrite_cells_in_place_partial(self, array):
+        mask = np.zeros(64, dtype=bool)
+        mask[:5] = True
+        assert array.rewrite_cells_in_place(0, mask, 7.0) == 5
+        assert (array.write_time[0][:5] == 7.0).all()
+        assert (array.write_time[0][5:] == 0.0).all()
+
+    def test_rejects_bad_level_values(self, array):
+        with pytest.raises(ValueError):
+            array.write_line(0, np.full(64, 5), 1.0)
+
+    def test_rejects_wrong_length(self, array):
+        with pytest.raises(ValueError):
+            array.write_line(0, np.full(32, 1), 1.0)
+
+
+class TestAccounting:
+    def test_total_cell_writes(self, array):
+        base = array.total_cell_writes()
+        array.write_line(0, np.full(64, 1), 1.0)
+        assert array.total_cell_writes() == base + 64
+
+    def test_line_age_uses_oldest_cell(self, array):
+        target = array.levels[1].copy()
+        target[0] = (target[0] + 1) % 4
+        array.write_line_differential(1, target, 50.0)
+        # Only one cell refreshed; the line age is still from t=0.
+        assert array.line_age_s(1, 60.0) == pytest.approx(60.0)
+        array.write_line(1, target, 50.0)
+        assert array.line_age_s(1, 60.0) == pytest.approx(10.0)
+
+    def test_max_cell_writes(self, array):
+        for _ in range(3):
+            array.write_line(0, array.levels[0].copy(), 1.0)
+        assert array.max_cell_writes() == 4
+
+
+class TestCorrelatedDrift:
+    def test_alpha_m_tracks_alpha_r(self, rng):
+        array = CellArray(50, 256, rng=rng)
+        # Within one level the exponents must be strongly correlated.
+        mask = array.levels == 2
+        corr = np.corrcoef(array.alpha_r[mask], array.alpha_m[mask])[0, 1]
+        assert corr > 0.9
+
+    def test_alpha_m_mean_matches_table2(self, rng):
+        array = CellArray(100, 256, rng=rng)
+        for level in range(3):
+            mask = array.levels == level
+            expected = M_METRIC.mu_alpha[level]
+            assert array.alpha_m[mask].mean() == pytest.approx(expected, rel=0.1)
+
+    def test_independent_mode_uncorrelated(self, rng):
+        array = CellArray(50, 256, rng=rng, correlated_drift=False)
+        mask = array.levels == 2
+        corr = np.corrcoef(array.alpha_r[mask], array.alpha_m[mask])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_rewrite_redraws_correlated(self, rng):
+        array = CellArray(4, 64, rng=rng)
+        array.write_line(0, np.full(64, 2), 1.0)
+        ratio = array.alpha_m[0] / np.maximum(array.alpha_r[0], 1e-12)
+        expected = M_METRIC.mu_alpha[2] / R_METRIC.mu_alpha[2]
+        assert np.median(ratio) == pytest.approx(expected, rel=0.15)

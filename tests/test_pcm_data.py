@@ -1,0 +1,98 @@
+"""Unit + property tests for byte <-> symbol <-> level conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.data import (
+    bytes_to_levels,
+    bytes_to_symbols,
+    count_bit_errors,
+    levels_to_bytes,
+    levels_to_symbols,
+    symbol_bit_errors,
+    symbols_to_bytes,
+    symbols_to_levels,
+)
+
+
+class TestSymbols:
+    def test_one_byte_msb_first(self):
+        assert list(bytes_to_symbols(b"\xe4")) == [3, 2, 1, 0]
+
+    def test_symbols_roundtrip_bytes(self):
+        data = bytes(range(256))
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+    def test_rejects_partial_byte(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.asarray([1, 2, 3]))
+
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.asarray([0, 1, 2, 4]))
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+
+class TestLevels:
+    def test_gray_map(self):
+        assert list(symbols_to_levels(np.asarray([0b01, 0b11, 0b10, 0b00]))) == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_levels_roundtrip(self):
+        symbols = np.arange(4)
+        assert list(levels_to_symbols(symbols_to_levels(symbols))) == list(symbols)
+
+    def test_bytes_to_levels_length(self):
+        levels = bytes_to_levels(b"\x00" * 64)
+        assert levels.shape == (256,)
+
+    def test_bytes_levels_roundtrip(self):
+        data = bytes(range(64))
+        assert levels_to_bytes(bytes_to_levels(data)) == data
+
+    @given(st.binary(min_size=64, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_line_roundtrip_property(self, data):
+        assert levels_to_bytes(bytes_to_levels(data)) == data
+
+
+class TestBitErrors:
+    def test_no_errors(self):
+        levels = bytes_to_levels(b"\xaa" * 8)
+        assert count_bit_errors(levels, levels) == 0
+
+    def test_single_state_drift_is_one_bit(self):
+        stored = np.asarray([0, 1, 2, 1])
+        sensed = stored.copy()
+        sensed[2] = 3  # one-state drift
+        assert count_bit_errors(stored, sensed) == 1
+
+    def test_two_state_jump_costs_two_bits(self):
+        stored = np.asarray([0])
+        sensed = np.asarray([2])
+        assert count_bit_errors(stored, sensed) == 2
+
+    def test_per_cell_breakdown(self):
+        stored = np.asarray([0, 1, 2, 3])
+        sensed = np.asarray([1, 1, 3, 3])
+        errors = symbol_bit_errors(stored, sensed)
+        assert list(errors) == [1, 0, 1, 0]
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_errors_bounded_by_two_per_cell(self, levels):
+        stored = np.asarray(levels)
+        sensed = (stored + 1) % 4
+        per_cell = symbol_bit_errors(stored, sensed)
+        assert per_cell.max() <= 2
+        assert per_cell.min() >= 1  # a level change flips at least one bit

@@ -1,0 +1,56 @@
+"""Unit tests for wear accounting and lifetime math."""
+
+import pytest
+
+from repro.pcm.endurance import CELL_ENDURANCE_WRITES, WearAccount, lifetime_years
+
+
+class TestWearAccount:
+    def test_full_line_charges_cells(self):
+        account = WearAccount(cells_per_line=296)
+        assert account.add_full_line("demand") == 296
+        assert account.total_cells == 296
+
+    def test_multiple_causes_tracked(self):
+        account = WearAccount(cells_per_line=100)
+        account.add_full_line("demand", lines=2)
+        account.add_cells("scrub", 50)
+        assert account.by_cause == {"demand": 200, "scrub": 50}
+        assert account.total_cells == 250
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            WearAccount().add_cells("demand", -1)
+
+    def test_lifetime_ratio(self):
+        baseline = WearAccount()
+        baseline.add_cells("demand", 1000)
+        other = WearAccount()
+        other.add_cells("demand", 2000)
+        assert other.lifetime_ratio(baseline) == pytest.approx(0.5)
+
+    def test_lifetime_ratio_infinite_for_no_writes(self):
+        baseline = WearAccount()
+        baseline.add_cells("demand", 10)
+        assert WearAccount().lifetime_ratio(baseline) == float("inf")
+
+    def test_lifetime_ratio_rejects_empty_baseline(self):
+        account = WearAccount()
+        account.add_cells("demand", 1)
+        with pytest.raises(ValueError):
+            account.lifetime_ratio(WearAccount())
+
+
+class TestLifetimeYears:
+    def test_infinite_without_writes(self):
+        assert lifetime_years(0.0, 1e9) == float("inf")
+
+    def test_scales_inverse_with_rate(self):
+        one = lifetime_years(1e6, 1e9)
+        two = lifetime_years(2e6, 1e9)
+        assert one == pytest.approx(2 * two)
+
+    def test_magnitude_reasonable(self):
+        # 2^25 lines x 296 cells at 1M cell-writes/s: far beyond a decade.
+        years = lifetime_years(1e6, (1 << 25) * 296, CELL_ENDURANCE_WRITES)
+        assert years > 10

@@ -1,0 +1,60 @@
+"""Unit tests for the dynamic-energy account."""
+
+import pytest
+
+from repro.pcm.energy import EnergyAccount
+from repro.pcm.params import EnergyParams
+
+
+@pytest.fixture
+def account():
+    return EnergyAccount(params=EnergyParams(), data_bits=512)
+
+
+class TestEnergyAccount:
+    def test_read_categories(self, account):
+        account.add_read("R")
+        account.add_read("M", category="scrub_read")
+        assert set(account.by_category) == {"read", "scrub_read"}
+
+    def test_rm_read_costs_sum(self, account):
+        rm = account.add_read("RM")
+        fresh = EnergyAccount(params=account.params)
+        r = fresh.add_read("R")
+        m = fresh.add_read("M")
+        assert rm == pytest.approx(r + m)
+
+    def test_write_scales_with_cells(self, account):
+        full = account.add_write(296)
+        diff = account.add_write(74)
+        assert full == pytest.approx(4 * diff)
+
+    def test_flag_access(self, account):
+        read_only = account.add_flag_access(writes=False)
+        with_update = account.add_flag_access(writes=True)
+        assert with_update > read_only
+
+    def test_total(self, account):
+        account.add_read("R")
+        account.add_write(296)
+        assert account.total_pj == pytest.approx(
+            sum(account.by_category.values())
+        )
+
+    def test_background_scales_with_time_and_lines(self, account):
+        short = account.background_pj(1e6, 1000)
+        double_time = account.background_pj(2e6, 1000)
+        double_lines = account.background_pj(1e6, 2000)
+        assert double_time == pytest.approx(2 * short)
+        assert double_lines == pytest.approx(2 * short)
+
+    def test_merged_with(self, account):
+        other = EnergyAccount(params=account.params)
+        account.add_read("R")
+        other.add_read("R")
+        other.add_write(10)
+        merged = account.merged_with(other)
+        assert merged.by_category["read"] == pytest.approx(
+            2 * account.by_category["read"]
+        )
+        assert "write" in merged.by_category

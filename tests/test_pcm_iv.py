@@ -1,0 +1,46 @@
+"""Unit tests for the I-V characteristic model (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.pcm.iv import DEFAULT_IV_MODEL, IVModel
+
+
+class TestIVModel:
+    def test_resistance_increases_with_level(self):
+        r = [DEFAULT_IV_MODEL.r_metric(level) for level in range(4)]
+        assert r == sorted(r)
+        assert r[0] > 0
+
+    def test_m_metric_increases_with_level(self):
+        m = [DEFAULT_IV_MODEL.m_metric(level) for level in range(4)]
+        assert m == sorted(m)
+
+    def test_current_superlinear_near_threshold(self):
+        low = float(DEFAULT_IV_MODEL.current(0.1, 2))
+        high = float(DEFAULT_IV_MODEL.current(1.0, 2))
+        assert high / low > 10.0  # Poole-Frenkel, not ohmic
+
+    def test_iv_curve_stays_below_threshold(self):
+        v, i = DEFAULT_IV_MODEL.iv_curve(1, num_points=50)
+        assert v.max() < DEFAULT_IV_MODEL.v_th
+        assert len(v) == len(i) == 50
+        assert np.all(np.diff(i) >= 0)
+
+    def test_m_separation_beats_r_at_default(self):
+        # The paper's Figure 2(b): voltage sensing keeps levels apart
+        # better than current sensing collapses them at high resistance.
+        assert DEFAULT_IV_MODEL.signal_separation("M") > 1.5
+        assert DEFAULT_IV_MODEL.signal_separation("R") > 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_IV_MODEL.signal_separation("Q")
+
+    def test_rejects_nonincreasing_thickness(self):
+        with pytest.raises(ValueError):
+            IVModel(ua_per_level=(2.0, 10.0, 10.0, 80.0))
+
+    def test_rejects_bias_above_threshold(self):
+        with pytest.raises(ValueError):
+            IVModel(v_bias=2.0)

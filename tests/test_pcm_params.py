@@ -1,0 +1,193 @@
+"""Unit tests for the Tables I/II/VIII/IX model constants."""
+
+import math
+
+import pytest
+
+from repro.pcm.params import (
+    DEFAULT_ENERGY,
+    DEFAULT_TIMING,
+    EnergyParams,
+    GRAY_LEVEL_TO_BITS,
+    M_METRIC,
+    MetricParams,
+    NUM_LEVELS,
+    R_METRIC,
+    TimingParams,
+    bits_to_level,
+    hamming_distance_levels,
+    level_to_bits,
+)
+
+
+class TestGrayCoding:
+    def test_four_levels(self):
+        assert NUM_LEVELS == 4
+        assert len(GRAY_LEVEL_TO_BITS) == 4
+
+    def test_mapping_matches_paper_figure1(self):
+        assert [format(level_to_bits(i), "02b") for i in range(4)] == [
+            "01",
+            "11",
+            "10",
+            "00",
+        ]
+
+    def test_roundtrip(self):
+        for level in range(NUM_LEVELS):
+            assert bits_to_level(level_to_bits(level)) == level
+
+    def test_adjacent_levels_differ_by_one_bit(self):
+        for level in range(NUM_LEVELS - 1):
+            assert hamming_distance_levels(level, level + 1) == 1
+
+    def test_self_distance_zero(self):
+        for level in range(NUM_LEVELS):
+            assert hamming_distance_levels(level, level) == 0
+
+    def test_two_state_jump_can_cost_two_bits(self):
+        assert hamming_distance_levels(0, 2) == 2
+
+
+class TestRMetric:
+    def test_means_are_decades_3_to_6(self):
+        assert R_METRIC.mu == (3.0, 4.0, 5.0, 6.0)
+
+    def test_sigma_one_sixth(self):
+        assert R_METRIC.sigma == pytest.approx(1 / 6)
+
+    def test_drift_means_match_table1(self):
+        assert R_METRIC.mu_alpha == (0.001, 0.02, 0.06, 0.10)
+
+    def test_sigma_alpha_is_40_percent(self):
+        for mu_a, sigma_a in zip(R_METRIC.mu_alpha, R_METRIC.sigma_alpha):
+            assert sigma_a == pytest.approx(0.4 * mu_a)
+
+    def test_thresholds_at_half_decades(self):
+        assert R_METRIC.thresholds == pytest.approx((3.5, 4.5, 5.5))
+
+    def test_guard_band(self):
+        assert R_METRIC.guard_band_sigma() == pytest.approx(3.0 - 2.746)
+
+    def test_top_level_has_no_boundary(self):
+        with pytest.raises(ValueError):
+            R_METRIC.upper_boundary(3)
+
+    def test_drift_shift_zero_before_t0(self):
+        assert R_METRIC.drift_shift(2, 0.5) == 0.0
+
+    def test_drift_shift_one_decade(self):
+        assert R_METRIC.drift_shift(2, 10.0) == pytest.approx(0.06)
+
+    def test_read_latency(self):
+        assert R_METRIC.read_latency_ns == 150.0
+
+
+class TestMMetric:
+    def test_means_four_decades_below_r(self):
+        for mu_m, mu_r in zip(M_METRIC.mu, R_METRIC.mu):
+            assert mu_m == pytest.approx(mu_r - 4.0)
+
+    def test_drift_roughly_one_seventh(self):
+        # Levels 1..3 follow the ~1/7 rule the paper cites.
+        for level in (1, 2, 3):
+            ratio = M_METRIC.mu_alpha[level] / R_METRIC.mu_alpha[level]
+            assert 0.1 < ratio < 0.2
+
+    def test_read_latency_450ns(self):
+        assert M_METRIC.read_latency_ns == 450.0
+
+
+class TestMetricParamsValidation:
+    def test_rejects_wrong_level_count(self):
+        with pytest.raises(ValueError):
+            MetricParams(name="X", mu=(1.0, 2.0), sigma=0.1, mu_alpha=(0.1, 0.1))
+
+    def test_rejects_nonincreasing_means(self):
+        with pytest.raises(ValueError):
+            MetricParams(
+                name="X",
+                mu=(1.0, 3.0, 2.0, 4.0),
+                sigma=0.1,
+                mu_alpha=(0.1,) * 4,
+            )
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            MetricParams(
+                name="X", mu=(1.0, 2.0, 3.0, 4.0), sigma=-0.1, mu_alpha=(0.1,) * 4
+            )
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            MetricParams(
+                name="X",
+                mu=(1.0, 2.0, 3.0, 4.0),
+                sigma=0.1,
+                mu_alpha=(0.1, 0.1, -0.1, 0.1),
+            )
+
+    def test_rejects_program_width_beyond_boundary(self):
+        with pytest.raises(ValueError):
+            MetricParams(
+                name="X",
+                mu=(1.0, 2.0, 3.0, 4.0),
+                sigma=0.1,
+                mu_alpha=(0.1,) * 4,
+                program_width_sigma=3.5,
+                boundary_sigma=3.0,
+            )
+
+    def test_replace_produces_modified_copy(self):
+        faster = R_METRIC.replace(read_latency_ns=100.0)
+        assert faster.read_latency_ns == 100.0
+        assert R_METRIC.read_latency_ns == 150.0
+
+
+class TestTiming:
+    def test_rm_read_is_sum(self):
+        assert DEFAULT_TIMING.rm_read_ns == pytest.approx(
+            DEFAULT_TIMING.r_read_ns + DEFAULT_TIMING.m_read_ns
+        )
+
+    def test_cycle_time(self):
+        timing = TimingParams(cpu_freq_ghz=2.0)
+        assert timing.cycle_ns == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            TimingParams(r_read_ns=0.0)
+
+
+class TestEnergy:
+    def test_read_energy_scales_with_bits(self):
+        assert DEFAULT_ENERGY.read_energy_pj("R", 512) == pytest.approx(
+            512 * DEFAULT_ENERGY.r_read_pj_per_bit
+        )
+
+    def test_rm_read_is_sum_of_both(self):
+        rm = DEFAULT_ENERGY.read_energy_pj("RM", 512)
+        r = DEFAULT_ENERGY.read_energy_pj("R", 512)
+        m = DEFAULT_ENERGY.read_energy_pj("M", 512)
+        assert rm == pytest.approx(r + m)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ENERGY.read_energy_pj("Q", 512)
+
+    def test_write_energy_per_cell(self):
+        assert DEFAULT_ENERGY.write_energy_pj(296) == pytest.approx(
+            296 * DEFAULT_ENERGY.write_pj_per_cell
+        )
+
+    def test_m_read_costs_more_than_r(self):
+        assert (
+            DEFAULT_ENERGY.m_read_pj_per_bit > DEFAULT_ENERGY.r_read_pj_per_bit
+        )
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            EnergyParams(r_read_pj_per_bit=-1.0)
+
+    def test_math_is_finite(self):
+        assert math.isfinite(DEFAULT_ENERGY.read_energy_pj("M", 512))

@@ -1,0 +1,67 @@
+"""Unit tests for the sense-amplifier models."""
+
+import numpy as np
+import pytest
+
+from repro.pcm.params import M_METRIC, R_METRIC
+from repro.pcm.sensing import (
+    HybridSenseAmplifier,
+    MSenseAmplifier,
+    RSenseAmplifier,
+    sense_levels,
+)
+
+
+class TestSenseLevels:
+    def test_quantizes_against_thresholds(self):
+        values = np.asarray([3.0, 3.6, 4.7, 5.9])
+        assert list(sense_levels(R_METRIC, values)) == [0, 1, 2, 3]
+
+    def test_exact_threshold_goes_up(self):
+        # np.digitize with right-open bins: a value at the reference
+        # senses as the higher state (it has drifted *to* the boundary).
+        assert int(sense_levels(R_METRIC, np.asarray([4.5]))[0]) == 2
+
+    def test_m_metric_thresholds(self):
+        values = np.asarray([-1.0, 0.0, 1.0, 2.0])
+        assert list(sense_levels(M_METRIC, values)) == [0, 1, 2, 3]
+
+    def test_scalar_input(self):
+        assert int(sense_levels(R_METRIC, 5.9)) == 3
+
+
+class TestAmplifiers:
+    def test_latencies(self):
+        assert RSenseAmplifier().latency_ns == 150.0
+        assert MSenseAmplifier().latency_ns == 450.0
+
+    def test_sense_counts_reads(self):
+        amp = RSenseAmplifier()
+        amp.sense(np.asarray([3.0, 4.0]))
+        amp.sense(np.asarray([5.0]))
+        assert amp.reads == 2
+        assert amp.cells_sensed == 3
+
+    def test_read_energy_uses_metric(self):
+        r = RSenseAmplifier()
+        m = MSenseAmplifier()
+        assert m.read_energy_pj(512) > r.read_energy_pj(512)
+
+
+class TestHybrid:
+    def test_rm_latency_is_sum(self):
+        hybrid = HybridSenseAmplifier()
+        assert hybrid.rm_latency_ns == pytest.approx(600.0)
+
+    def test_sense_r_then_m(self):
+        hybrid = HybridSenseAmplifier()
+        r_levels = hybrid.sense_r(np.asarray([3.0, 4.9]))
+        m_levels = hybrid.sense_m(np.asarray([-1.0, 0.4]))
+        assert list(r_levels) == [0, 2]
+        assert list(m_levels) == [0, 1]
+
+    def test_rm_energy_is_sum(self):
+        hybrid = HybridSenseAmplifier()
+        assert hybrid.rm_read_energy_pj(512) == pytest.approx(
+            hybrid.r_amp.read_energy_pj(512) + hybrid.m_amp.read_energy_pj(512)
+        )

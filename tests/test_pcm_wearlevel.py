@@ -1,0 +1,87 @@
+"""Unit + property tests for Start-Gap wear leveling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.wearlevel import StartGapMapper
+
+
+class TestMapping:
+    def test_initial_identity(self):
+        mapper = StartGapMapper(8)
+        assert mapper.mapping() == list(range(8))
+
+    def test_mapping_is_always_injective(self):
+        mapper = StartGapMapper(16, gap_move_interval=1)
+        for step in range(200):
+            mapper.on_write(step % 16)
+            mapping = mapper.mapping()
+            assert len(set(mapping)) == 16, f"collision after step {step}"
+
+    def test_gap_slot_never_mapped(self):
+        mapper = StartGapMapper(16, gap_move_interval=1)
+        for step in range(100):
+            mapper.on_write(step % 16)
+            assert mapper.gap not in mapper.mapping()
+
+    def test_out_of_range_rejected(self):
+        mapper = StartGapMapper(8)
+        with pytest.raises(ValueError):
+            mapper.physical_of(8)
+
+    def test_full_rotation_advances_start(self):
+        mapper = StartGapMapper(4, gap_move_interval=1)
+        # gap walks 4 -> 3 -> 2 -> 1 -> 0 (4 moves), then wraps.
+        for _ in range(5):
+            mapper.on_write(0)
+        assert mapper.start == 1
+
+    @given(
+        num_lines=st.integers(2, 32),
+        writes=st.integers(0, 300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bijectivity_property(self, num_lines, writes):
+        mapper = StartGapMapper(num_lines, gap_move_interval=3)
+        for step in range(writes):
+            mapper.on_write(step % num_lines)
+        mapping = mapper.mapping()
+        assert len(set(mapping)) == num_lines
+        assert all(0 <= p <= num_lines for p in mapping)
+
+
+class TestWearSpreading:
+    def test_hot_line_spreads_across_slots(self):
+        # Hammer one logical line; the mapping rotation must spread the
+        # physical wear.
+        mapper = StartGapMapper(16, gap_move_interval=4)
+        for _ in range(16 * 17 * 4 * 3):  # several full rotations
+            mapper.on_write(5)
+        touched = int(np.count_nonzero(mapper.physical_writes))
+        assert touched == 17  # every slot absorbed part of the hammering
+
+    def test_spread_improves_with_rotation(self):
+        fast = StartGapMapper(16, gap_move_interval=2)
+        slow = StartGapMapper(16, gap_move_interval=5000)
+        for _ in range(3000):
+            fast.on_write(5)
+            slow.on_write(5)
+        assert fast.wear_spread() < slow.wear_spread()
+
+    def test_write_overhead_is_one_over_interval(self):
+        mapper = StartGapMapper(64, gap_move_interval=100)
+        for step in range(20_000):
+            mapper.on_write(step % 64)
+        assert mapper.write_overhead() == pytest.approx(0.01, rel=0.1)
+
+
+class TestValidation:
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ValueError):
+            StartGapMapper(1)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            StartGapMapper(8, gap_move_interval=0)

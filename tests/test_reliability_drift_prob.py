@@ -1,0 +1,99 @@
+"""Unit + property tests for per-cell drift-error probabilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm.params import M_METRIC, R_METRIC
+from repro.reliability.drift_prob import (
+    incremental_error_probability,
+    level_error_probability,
+    mean_cell_error_probability,
+)
+
+
+class TestLevelErrorProbability:
+    def test_zero_at_t0(self):
+        for level in range(4):
+            assert level_error_probability(R_METRIC, level, 1.0) == 0.0
+
+    def test_top_level_never_errors(self):
+        assert level_error_probability(R_METRIC, 3, 1e9) == 0.0
+
+    def test_monotone_in_time(self):
+        times = np.asarray([2.0, 8.0, 64.0, 640.0, 1e5])
+        probs = level_error_probability(R_METRIC, 2, times)
+        assert np.all(np.diff(probs) >= 0)
+
+    def test_middle_states_worst(self):
+        at = 640.0
+        p1 = level_error_probability(R_METRIC, 1, at)
+        p2 = level_error_probability(R_METRIC, 2, at)
+        p0 = level_error_probability(R_METRIC, 0, at)
+        assert p2 > p0
+        assert p1 > p0
+
+    def test_truncation_reduces_probability(self):
+        at = 8.0
+        truncated = level_error_probability(R_METRIC, 2, at, truncated=True)
+        full = level_error_probability(R_METRIC, 2, at, truncated=False)
+        assert truncated < full
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            level_error_probability(R_METRIC, 5, 8.0)
+
+    def test_scalar_in_scalar_out(self):
+        value = level_error_probability(R_METRIC, 1, 8.0)
+        assert isinstance(value, float)
+
+    @given(t=st.floats(min_value=1.0, max_value=1e8))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_probability_property(self, t):
+        p = level_error_probability(R_METRIC, 2, t)
+        assert 0.0 <= p <= 1.0
+
+
+class TestMeanCellProbability:
+    def test_uniform_average_of_levels(self):
+        at = 64.0
+        mean = mean_cell_error_probability(R_METRIC, at)
+        per_level = [level_error_probability(R_METRIC, lv, at) for lv in range(4)]
+        assert mean == pytest.approx(sum(per_level) / 4)
+
+    def test_custom_weights(self):
+        at = 64.0
+        only2 = mean_cell_error_probability(R_METRIC, at, [0, 0, 1.0, 0])
+        assert only2 == pytest.approx(level_error_probability(R_METRIC, 2, at))
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            mean_cell_error_probability(R_METRIC, 8.0, [0.5, 0.5, 0.5, 0.5])
+
+    def test_m_metric_far_more_reliable(self):
+        at = 640.0
+        assert mean_cell_error_probability(
+            M_METRIC, at
+        ) < 0.01 * mean_cell_error_probability(R_METRIC, at)
+
+    def test_paper_magnitude_at_8s(self):
+        # Calibration anchor: Table III (S=8, E=0) = 7.09e-2 implies a
+        # per-cell probability near 2.9e-4.
+        p = mean_cell_error_probability(R_METRIC, 8.0)
+        assert 2.0e-4 < p < 4.0e-4
+
+
+class TestIncremental:
+    def test_difference_of_monotone(self):
+        inc = incremental_error_probability(R_METRIC, 8.0, 16.0)
+        p8 = mean_cell_error_probability(R_METRIC, 8.0)
+        p16 = mean_cell_error_probability(R_METRIC, 16.0)
+        assert inc == pytest.approx(p16 - p8)
+
+    def test_zero_when_same_time(self):
+        assert incremental_error_probability(R_METRIC, 8.0, 8.0) == 0.0
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ValueError):
+            incremental_error_probability(R_METRIC, 16.0, 8.0)

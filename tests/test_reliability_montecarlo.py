@@ -1,0 +1,36 @@
+"""Monte-Carlo cross-validation of the analytic drift model."""
+
+import pytest
+
+from repro.reliability.montecarlo import (
+    relative_error,
+    simulate_error_rates,
+)
+
+
+class TestMonteCarloAgreement:
+    def test_r_metric_matches_analytic(self):
+        points = simulate_error_rates(
+            [64.0, 640.0, 6400.0], metric="R", num_lines=1500, seed=3
+        )
+        for point in points:
+            # Expected counts are in the hundreds; 25% agreement is a
+            # strong check for a tail statistic.
+            assert relative_error(point) < 0.25, point
+
+    def test_m_metric_rarely_errors(self):
+        points = simulate_error_rates([640.0], metric="M", num_lines=500, seed=3)
+        assert points[0].empirical <= 1e-4
+
+    def test_points_are_monotone_in_age(self):
+        points = simulate_error_rates(
+            [8.0, 640.0, 64000.0], metric="R", num_lines=800, seed=5
+        )
+        empirical = [p.empirical for p in points]
+        assert empirical == sorted(empirical)
+
+    def test_relative_error_floor(self):
+        points = simulate_error_rates([2.0], metric="M", num_lines=10, seed=1)
+        # Analytic probability is below resolution; the floor keeps the
+        # agreement measure finite.
+        assert relative_error(points[0]) <= 1.0

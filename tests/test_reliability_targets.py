@@ -1,0 +1,38 @@
+"""Unit tests for the DRAM FIT -> LER target conversion."""
+
+import pytest
+
+from repro.reliability.targets import DRAM_TARGET, ReliabilityTarget
+
+
+class TestDramTarget:
+    def test_paper_per_hour_value(self):
+        # 25 FIT/Mbit at 512 bits/line -> 1.28e-11 per line-hour.
+        assert DRAM_TARGET.ler_per_line_hour == pytest.approx(1.28e-11)
+
+    def test_paper_per_second_value(self):
+        assert DRAM_TARGET.ler_per_line_second == pytest.approx(3.556e-15, rel=1e-3)
+
+    def test_budget_scales_with_interval(self):
+        assert DRAM_TARGET.budget_for_interval(4.0) == pytest.approx(
+            1.422e-14, rel=1e-3
+        )
+        assert DRAM_TARGET.budget_for_interval(640.0) == pytest.approx(
+            2.276e-12, rel=1e-3
+        )
+
+    def test_meets(self):
+        assert DRAM_TARGET.meets(1e-15, 8.0)
+        assert not DRAM_TARGET.meets(1e-10, 8.0)
+
+    def test_budget_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            DRAM_TARGET.budget_for_interval(0.0)
+
+    def test_custom_target(self):
+        loose = ReliabilityTarget(fit_per_mbit=25_000.0)
+        assert loose.ler_per_line_hour == pytest.approx(1.28e-8)
+
+    def test_rejects_nonpositive_fit(self):
+        with pytest.raises(ValueError):
+            ReliabilityTarget(fit_per_mbit=0.0)

@@ -1,0 +1,45 @@
+"""Seed-robustness: the paper-shape conclusions hold across seeds."""
+
+import pytest
+
+from repro import quick_compare
+
+
+@pytest.mark.parametrize("seed", [7, 1234, 99991])
+class TestOrderingsAcrossSeeds:
+    def test_mcf_orderings(self, seed):
+        results = quick_compare("mcf", target_requests=5_000, seed=seed)
+        ideal = results["Ideal"].execution_time_ns
+
+        def norm(name):
+            return results[name].execution_time_ns / ideal
+
+        # The qualitative Figure 9 story must not depend on the seed.
+        assert norm("M-metric") > norm("Hybrid")
+        assert norm("Scrubbing") > norm("Hybrid")
+        assert norm("Hybrid") < 1.15
+        assert norm("Select-4:2") < norm("Scrubbing")
+
+    def test_select_energy_and_lifetime(self, seed):
+        results = quick_compare(
+            "lbm",
+            schemes=("Ideal", "Select-4:2"),
+            target_requests=5_000,
+            seed=seed,
+        )
+        ideal = results["Ideal"]
+        select = results["Select-4:2"]
+        assert select.dynamic_energy_pj < ideal.dynamic_energy_pj
+        assert select.total_cell_writes < ideal.total_cell_writes
+
+    def test_sphinx_conversion_direction(self, seed):
+        results = quick_compare(
+            "sphinx3",
+            schemes=("Ideal", "LWT-4", "LWT-4-noconv"),
+            target_requests=5_000,
+            seed=seed,
+        )
+        assert (
+            results["LWT-4"].execution_time_ns
+            <= results["LWT-4-noconv"].execution_time_ns
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.generator import generate_trace, is_cold_line
+from repro.traces.spec import WorkloadProfile
+from repro.traces.trace import OP_READ, OP_WRITE
+
+
+class TestGeneration:
+    def test_deterministic_with_seed(self, small_profile):
+        a = generate_trace(small_profile, 100_000, seed=7)
+        b = generate_trace(small_profile, 100_000, seed=7)
+        assert (a.line == b.line).all()
+        assert (a.op == b.op).all()
+
+    def test_different_seeds_differ(self, small_profile):
+        a = generate_trace(small_profile, 100_000, seed=7)
+        b = generate_trace(small_profile, 100_000, seed=8)
+        assert len(a) != len(b) or not (a.line == b.line).all()
+
+    def test_measured_rpki_close_to_profile(self, small_profile):
+        trace = generate_trace(small_profile, 400_000, seed=1)
+        stats = trace.stats()
+        assert stats.rpki == pytest.approx(small_profile.rpki, rel=0.1)
+        assert stats.wpki == pytest.approx(small_profile.wpki, rel=0.15)
+
+    def test_instruction_budget_respected(self, small_profile):
+        trace = generate_trace(small_profile, 50_000, num_cores=2, seed=3)
+        for core, idx in trace.per_core_indices().items():
+            consumed = int(trace.gap[idx].sum()) + len(idx)
+            assert consumed <= 50_000
+
+    def test_all_cores_present(self, small_profile):
+        trace = generate_trace(small_profile, 100_000, num_cores=4, seed=3)
+        assert trace.num_cores() == 4
+
+    def test_writes_stay_in_hot_footprint(self, small_profile):
+        trace = generate_trace(small_profile, 300_000, seed=5)
+        writes = trace.line[trace.op == OP_WRITE]
+        assert writes.max() < small_profile.footprint_lines
+
+    def test_cold_reads_present(self, small_profile):
+        trace = generate_trace(small_profile, 300_000, seed=5)
+        reads = trace.line[trace.op == OP_READ]
+        cold = reads >= small_profile.footprint_lines
+        fraction = float(cold.mean())
+        assert fraction == pytest.approx(
+            small_profile.cold_read_fraction, abs=0.03
+        )
+
+    def test_no_cold_region_disables_cold_reads(self):
+        profile = WorkloadProfile(
+            name="x",
+            rpki=4.0,
+            wpki=1.0,
+            footprint_lines=1024,
+            cold_footprint_lines=0,
+            cold_read_fraction=0.5,
+        )
+        trace = generate_trace(profile, 200_000, seed=2)
+        assert trace.line.max() < 1024
+
+    def test_hot_tier_concentration(self, small_profile):
+        trace = generate_trace(small_profile, 400_000, seed=9)
+        hot_reads = trace.line[
+            (trace.op == OP_READ) & (trace.line < small_profile.footprint_lines)
+        ]
+        tier = int(small_profile.footprint_lines * small_profile.hot_tier_fraction)
+        in_tier = float((hot_reads < tier).mean())
+        assert in_tier > 0.7  # 80% reuse plus uniform spill-over
+
+    def test_rejects_bad_args(self, small_profile):
+        with pytest.raises(ValueError):
+            generate_trace(small_profile, 0)
+        with pytest.raises(ValueError):
+            generate_trace(small_profile, 1000, num_cores=0)
+
+
+class TestColdClassification:
+    def test_is_cold_line(self, small_profile):
+        assert not is_cold_line(small_profile, 0)
+        assert is_cold_line(small_profile, small_profile.footprint_lines)

@@ -1,0 +1,94 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.traces.spec import (
+    SPEC_WORKLOADS,
+    WorkloadProfile,
+    instructions_for_requests,
+    workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_fourteen_workloads(self):
+        assert len(SPEC_WORKLOADS) == 14
+
+    def test_paper_names_present(self):
+        for name in ("mcf", "sphinx3", "bwaves", "bzip2", "lbm", "gcc"):
+            assert name in SPEC_WORKLOADS
+
+    def test_lookup(self):
+        assert workload("mcf").name == "mcf"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            workload("doom3")
+
+    def test_names_order_stable(self):
+        assert list(workload_names()) == list(SPEC_WORKLOADS)
+
+    def test_mcf_is_most_read_intensive(self):
+        rpki = {name: profile.rpki for name, profile in SPEC_WORKLOADS.items()}
+        assert max(rpki, key=rpki.get) == "mcf"
+
+    def test_sphinx_is_cold_read_heavy(self):
+        assert workload("sphinx3").cold_read_fraction > 0.5
+        assert all(
+            profile.cold_read_fraction < 0.5
+            for name, profile in SPEC_WORKLOADS.items()
+            if name != "sphinx3"
+        )
+
+
+class TestProfileValidation:
+    def test_rejects_no_memory_traffic(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", rpki=0.0, wpki=0.0)
+
+    def test_rejects_bad_cold_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", rpki=1.0, wpki=1.0, cold_read_fraction=1.5)
+
+    def test_read_fraction(self):
+        profile = WorkloadProfile(name="x", rpki=3.0, wpki=1.0)
+        assert profile.read_fraction == pytest.approx(0.75)
+        assert profile.mpki == pytest.approx(4.0)
+
+    def test_cold_fallbacks(self):
+        profile = WorkloadProfile(name="x", rpki=1.0, wpki=1.0)
+        assert profile.effective_cold_reuse == profile.hot_reuse_fraction
+        assert profile.effective_cold_tier == profile.hot_tier_fraction
+
+    def test_cold_overrides(self):
+        profile = WorkloadProfile(
+            name="x", rpki=1.0, wpki=1.0,
+            cold_reuse_fraction=0.9, cold_tier_fraction=0.05,
+        )
+        assert profile.effective_cold_reuse == 0.9
+        assert profile.effective_cold_tier == 0.05
+
+    def test_scaled_shrinks_footprints(self):
+        profile = workload("mcf").scaled(0.01)
+        assert profile.footprint_lines < workload("mcf").footprint_lines
+        assert profile.footprint_lines >= 16
+
+
+class TestInstructionSizing:
+    def test_inverse_in_mpki(self):
+        light = workload("gcc")
+        heavy = workload("mcf")
+        n_light = instructions_for_requests(light, 10_000)
+        n_heavy = instructions_for_requests(heavy, 10_000)
+        assert n_light > n_heavy
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            instructions_for_requests(workload("gcc"), 0)
+
+    def test_expected_request_count(self):
+        profile = workload("lbm")
+        instr = instructions_for_requests(profile, 20_000, num_cores=4)
+        expected = instr * 4 * profile.mpki / 1000
+        assert expected == pytest.approx(20_000, rel=0.05)

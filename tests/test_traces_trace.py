@@ -1,0 +1,77 @@
+"""Unit tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import OP_READ, OP_WRITE, Trace
+
+
+def _tiny_trace():
+    return Trace(
+        op=np.asarray([OP_READ, OP_WRITE, OP_READ]),
+        core=np.asarray([0, 1, 0]),
+        line=np.asarray([10, 20, 30]),
+        gap=np.asarray([5, 0, 2]),
+        name="tiny",
+    )
+
+
+class TestTrace:
+    def test_len(self):
+        assert len(_tiny_trace()) == 3
+
+    def test_stats(self):
+        stats = _tiny_trace().stats()
+        assert stats.reads == 2
+        assert stats.writes == 1
+        assert stats.instructions == 7 + 3
+        assert stats.unique_lines == 3
+
+    def test_per_core_indices(self):
+        indices = _tiny_trace().per_core_indices()
+        assert list(indices[0]) == [0, 2]
+        assert list(indices[1]) == [1]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trace(
+                op=np.asarray([0]),
+                core=np.asarray([0, 1]),
+                line=np.asarray([1]),
+                gap=np.asarray([0]),
+            )
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            Trace(
+                op=np.asarray([3]),
+                core=np.asarray([0]),
+                line=np.asarray([1]),
+                gap=np.asarray([0]),
+            )
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            Trace(
+                op=np.asarray([0]),
+                core=np.asarray([0]),
+                line=np.asarray([1]),
+                gap=np.asarray([-1]),
+            )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _tiny_trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "tiny"
+        assert (loaded.op == trace.op).all()
+        assert (loaded.line == trace.line).all()
+        assert (loaded.gap == trace.gap).all()
+
+    def test_empty_trace(self):
+        empty = np.empty(0, dtype=np.int64)
+        trace = Trace(empty, empty, empty, empty)
+        assert len(trace) == 0
+        assert trace.num_cores() == 0
+        assert trace.stats().requests == 0
