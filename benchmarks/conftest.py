@@ -11,6 +11,9 @@ Environment knobs:
 * ``READDUO_BENCH_REQUESTS`` — requests per trace in the shared sweep
   (default 30000, the paper-scale run recorded in EXPERIMENTS.md; set a
   smaller value, e.g. 8000, for a quick pass).
+* ``READDUO_BENCH_JOBS`` — worker processes for the shared sweep and the
+  sweep-scaling benchmark (default: the machine's CPU count; set 1 to
+  force the serial path).
 """
 
 from __future__ import annotations
@@ -24,6 +27,9 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: Requests per trace for sweep-driven benchmarks.
 BENCH_REQUESTS = int(os.environ.get("READDUO_BENCH_REQUESTS", "30000"))
+
+#: Worker processes for sweep-driven benchmarks.
+BENCH_JOBS = int(os.environ.get("READDUO_BENCH_JOBS", str(os.cpu_count() or 1)))
 
 
 @pytest.fixture(scope="session")
@@ -39,7 +45,7 @@ def warm_sweep():
     from repro.experiments.runner import run_sweep
 
     settings = sweep_settings(BENCH_REQUESTS)
-    run_sweep(settings)
+    run_sweep(settings, jobs=BENCH_JOBS)
     return settings
 
 

@@ -1,0 +1,140 @@
+"""Sweep-executor scaling benchmark: serial vs parallel vs warm cache.
+
+Times three executions of the same reduced grid — serial, process-parallel
+(``READDUO_BENCH_JOBS`` workers), and a warm-persistent-cache reload — plus
+one paper-scale single engine run, and records everything to
+``results/BENCH_sweep.json``. The JSON carries the engine's
+requests-per-second so single-run speedups can be compared across
+commits; the pre-optimization engine (PR 1 baseline) measured ~34k
+requests/s on the reference container for the mcf/Hybrid scenario below.
+
+The grid here is a representative slice (3 workloads x 4 schemes) at a
+fifth of the shared-sweep scale, so the serial/parallel pair stays cheap
+enough to run on every benchmark pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import BENCH_JOBS, BENCH_REQUESTS
+
+BENCH_WORKLOADS = ("mcf", "gcc", "sphinx3")
+BENCH_SCHEMES = ("Ideal", "Scrubbing", "Hybrid", "LWT-4")
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_engine_single_run_throughput(results_dir):
+    """One paper-scale run; records engine requests/s for cross-commit diffs."""
+    from repro.core.schemes import PolicyContext, make_policy
+    from repro.memsim.config import MemoryConfig
+    from repro.memsim.engine import simulate
+    from repro.traces.generator import generate_trace
+    from repro.traces.spec import instructions_for_requests, workload
+
+    config = MemoryConfig()
+    profile = workload("mcf")
+    instructions = instructions_for_requests(profile, BENCH_REQUESTS, config.num_cores)
+    trace = generate_trace(
+        profile,
+        instructions_per_core=instructions,
+        num_cores=config.num_cores,
+        seed=42,
+    )
+
+    def one_run():
+        policy = make_policy(
+            "Hybrid", PolicyContext(profile=profile, config=config, seed=42)
+        )
+        return simulate(trace, policy, config)
+
+    one_run()  # warm-up
+    best = min(_time(one_run)[1] for _ in range(3))
+    record = {
+        "workload": "mcf",
+        "scheme": "Hybrid",
+        "requests": len(trace),
+        "seconds": best,
+        "requests_per_s": len(trace) / best,
+    }
+    _merge_into_bench_json(results_dir, {"single_run": record})
+    assert best > 0
+
+
+def test_sweep_serial_vs_parallel_vs_cached(results_dir, tmp_path):
+    """Wall-time the same grid serial, parallel, and from a warm cache."""
+    from repro.experiments.cache import SweepCache
+    from repro.experiments.runner import (
+        SweepSettings,
+        clear_sweep_cache,
+        run_sweep,
+    )
+
+    settings = SweepSettings(
+        schemes=BENCH_SCHEMES,
+        workloads=BENCH_WORKLOADS,
+        target_requests=max(2_000, BENCH_REQUESTS // 5),
+    )
+    cache = SweepCache(tmp_path / "sweep-cache")
+
+    clear_sweep_cache()
+    serial_grid, serial_s = _time(lambda: run_sweep(settings, jobs=1, cache=cache))
+
+    clear_sweep_cache()
+    cached_grid, cached_s = _time(lambda: run_sweep(settings, jobs=1, cache=cache))
+
+    parallel_s = None
+    if BENCH_JOBS > 1:
+        clear_sweep_cache()
+        cache.clear()
+        parallel_grid, parallel_s = _time(
+            lambda: run_sweep(settings, jobs=BENCH_JOBS, cache=cache)
+        )
+        assert _flat(parallel_grid) == _flat(serial_grid)
+
+    assert _flat(cached_grid) == _flat(serial_grid)
+
+    record = {
+        "workloads": list(BENCH_WORKLOADS),
+        "schemes": list(BENCH_SCHEMES),
+        "target_requests": settings.target_requests,
+        "jobs": BENCH_JOBS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "parallel_speedup": (serial_s / parallel_s) if parallel_s else None,
+        "warm_cache_s": cached_s,
+        "warm_cache_speedup": serial_s / cached_s if cached_s > 0 else None,
+        "cpu_count": os.cpu_count(),
+    }
+    _merge_into_bench_json(results_dir, {"sweep": record})
+    # A warm cache replays JSON instead of simulating; anything less than
+    # an order of magnitude points at a cache miss.
+    assert cached_s < serial_s / 10
+
+
+def _flat(grid):
+    return [
+        (w, s, stats.to_dict())
+        for w, per_scheme in grid.items()
+        for s, stats in per_scheme.items()
+    ]
+
+
+def _merge_into_bench_json(results_dir, fragment):
+    """Accumulate sections into results/BENCH_sweep.json across tests."""
+    path = results_dir / "BENCH_sweep.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(fragment)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

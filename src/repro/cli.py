@@ -9,6 +9,10 @@ Subcommands:
   statistics dump.
 * ``sweep --output FILE`` — run the scheme x workload grid and export
   every run's statistics as JSON for downstream analysis.
+
+Simulation-sweep commands accept ``--jobs N`` (process-parallel grid) and
+``--no-cache`` (skip the persistent sweep cache under
+``results/.sweep-cache/``); see README "Performance".
 """
 
 from __future__ import annotations
@@ -16,9 +20,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from .core.schemes import SCHEME_NAMES, PolicyContext, make_policy
+from .core.schemes import SCHEME_NAMES, PolicyContext, is_scheme_name, make_policy
 from .experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
 from .memsim.config import MemoryConfig
 from .memsim.engine import simulate
@@ -38,7 +42,27 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _reject_unknown_schemes(schemes: Sequence[str]) -> int:
+    """Print an error and return exit code 2 on any unknown scheme name.
+
+    Validating upfront keeps a typo from failing deep inside
+    ``make_policy`` after trace generation (or mid-grid for sweeps).
+    """
+    unknown = [name for name in schemes if not is_scheme_name(name)]
+    if unknown:
+        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"known: {', '.join(SCHEME_NAMES)} "
+            "(plus LWT-<k>[-noconv] and Select-<k>:<s>)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.runner import configure_sweep_defaults
+
     names: List[str] = args.experiments
     if "all" in names:
         names = list(EXPERIMENTS)
@@ -47,18 +71,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for name in names:
-        driver = EXPERIMENTS[name]
-        kwargs = {}
-        if args.quick and name in SWEEP_EXPERIMENTS:
-            kwargs["target_requests"] = args.quick_requests
-        result = driver(**kwargs)
-        print(result.render())
-        print()
+    # Figure drivers call run_sweep internally; route --jobs/--no-cache
+    # through the process-wide defaults (restored afterwards so main()
+    # stays reentrant for tests and embedding).
+    prev_jobs, prev_cache = configure_sweep_defaults(
+        jobs=args.jobs, cache=not args.no_cache
+    )
+    try:
+        for name in names:
+            driver = EXPERIMENTS[name]
+            kwargs = {}
+            if args.quick and name in SWEEP_EXPERIMENTS:
+                kwargs["target_requests"] = args.quick_requests
+            result = driver(**kwargs)
+            print(result.render())
+            print()
+    finally:
+        configure_sweep_defaults(jobs=prev_jobs, cache=prev_cache)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    code = _reject_unknown_schemes([args.scheme])
+    if code:
+        return code
     profile = workload(args.workload)
     config = MemoryConfig()
     instructions = args.instructions or instructions_for_requests(
@@ -91,13 +127,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.runner import ALL_SCHEMES, SweepSettings, run_sweep
 
+    schemes = tuple(args.schemes) if args.schemes else ALL_SCHEMES
+    code = _reject_unknown_schemes(schemes)
+    if code:
+        return code
     settings = SweepSettings(
-        schemes=tuple(args.schemes) if args.schemes else ALL_SCHEMES,
+        schemes=schemes,
         workloads=tuple(args.workloads) if args.workloads else (),
         target_requests=args.requests,
         seed=args.seed,
     )
-    sweep = run_sweep(settings)
+    sweep = run_sweep(settings, jobs=args.jobs, cache=not args.no_cache)
     payload = {
         "target_requests": settings.target_requests,
         "seed": settings.seed,
@@ -145,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shrink the simulation sweep for a fast pass")
     p_run.add_argument("--quick-requests", type=int, default=4000,
                        help="requests per trace in --quick mode")
+    _add_sweep_execution_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="run one workload under one scheme")
@@ -166,8 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=42)
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workloads", nargs="*", default=None)
+    _add_sweep_execution_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_sweep_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the simulation grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent sweep cache (results/.sweep-cache/)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -50,6 +50,7 @@ __all__ = [
     "LwtPolicy",
     "SelectPolicy",
     "make_policy",
+    "is_scheme_name",
     "SCHEME_NAMES",
 ]
 
@@ -510,6 +511,21 @@ SCHEME_NAMES = (
 
 _LWT_RE = re.compile(r"^LWT-(\d+)(-noconv)?$")
 _SELECT_RE = re.compile(r"^Select-(\d+):(\d+)$")
+
+
+def is_scheme_name(name: str) -> bool:
+    """True when :func:`make_policy` would accept ``name``.
+
+    Covers the fixed :data:`SCHEME_NAMES` plus the parameterized
+    ``LWT-<k>[-noconv]`` and ``Select-<k>:<s>`` families, without
+    constructing a policy (the CLI validates names before spending time
+    on trace generation).
+    """
+    return (
+        name in SCHEME_NAMES
+        or _LWT_RE.match(name) is not None
+        or _SELECT_RE.match(name) is not None
+    )
 
 
 def make_policy(name: str, ctx: PolicyContext):

@@ -1,0 +1,147 @@
+"""Persistent on-disk cache for simulation sweeps.
+
+A sweep is identified by a content hash over *everything* that can change
+its outcome: scheme list, workload list, trace length, seed, every
+:class:`~repro.memsim.config.MemoryConfig` field (timing and energy
+parameters included), and the package version. Any change to any of those
+produces a new key, so stale entries are never returned — they are merely
+never read again. Results live as one JSON file per sweep under
+``results/.sweep-cache/`` (override with ``READDUO_SWEEP_CACHE``), which
+makes regenerating every figure across processes cost zero re-simulation
+once the grid has been computed anywhere on the machine.
+
+The stored payload is the lossless :meth:`RunStats.to_dict` form; a
+reload reproduces the original statistics bit-for-bit (Python's ``json``
+emits shortest-roundtrip float reprs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from .. import __version__
+from ..memsim.stats import RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .runner import SweepSettings
+
+__all__ = ["SweepCache", "default_cache_dir", "settings_key"]
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "READDUO_SWEEP_CACHE"
+
+#: Bumped when the on-disk layout changes incompatibly.
+_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$READDUO_SWEEP_CACHE`` or ``results/.sweep-cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path("results") / ".sweep-cache"
+
+
+def settings_key(settings: "SweepSettings") -> str:
+    """Content hash identifying a sweep's full configuration.
+
+    The hash covers schemes, *effective* workloads (an explicit list and
+    the all-workloads default that expands to it hash identically),
+    target_requests, seed, every nested ``MemoryConfig`` field, and the
+    package version.
+    """
+    identity = {
+        "format": _FORMAT,
+        "version": __version__,
+        "schemes": list(settings.schemes),
+        "workloads": list(settings.effective_workloads()),
+        "target_requests": settings.target_requests,
+        "seed": settings.seed,
+        "config": dataclasses.asdict(settings.config),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Persistent ``{workload: {scheme: RunStats}}`` store, one file per sweep.
+
+    Args:
+        cache_dir: Root directory; created lazily on first store.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+
+    def path_for(self, settings: "SweepSettings") -> Path:
+        """The cache file a sweep with these settings lives in."""
+        return self.cache_dir / f"{settings_key(settings)}.json"
+
+    def load(self, settings: "SweepSettings") -> Optional[Dict[str, Dict[str, RunStats]]]:
+        """Return the cached grid for ``settings``, or None on a miss.
+
+        A corrupt or truncated file (e.g. an interrupted manual copy) is
+        treated as a miss rather than an error; the next store overwrites it.
+        """
+        path = self.path_for(settings)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        try:
+            runs = payload["runs"]
+            # Reassemble in canonical settings order (the stored JSON is
+            # key-sorted) so a reloaded grid iterates exactly like a
+            # freshly simulated one.
+            return {
+                workload: {
+                    scheme: RunStats.from_dict(runs[workload][scheme])
+                    for scheme in settings.schemes
+                }
+                for workload in settings.effective_workloads()
+            }
+        except (KeyError, TypeError):
+            return None
+
+    def store(
+        self, settings: "SweepSettings", grid: Dict[str, Dict[str, RunStats]]
+    ) -> Path:
+        """Persist a computed grid; atomic against concurrent readers."""
+        path = self.path_for(settings)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT,
+            "version": __version__,
+            "runs": {
+                workload: {
+                    scheme: stats.to_dict() for scheme, stats in per_scheme.items()
+                }
+                for workload, per_scheme in grid.items()
+            },
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            # No sort_keys: category/cause dicts must keep insertion order
+            # so order-sensitive float sums (e.g. total dynamic energy)
+            # reproduce to the last ulp after a reload.
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached sweep; returns the number of files removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

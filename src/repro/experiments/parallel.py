@@ -1,0 +1,118 @@
+"""Parallel execution of the scheme x workload simulation grid.
+
+The sweep is embarrassingly parallel: every (workload, scheme) pair is an
+independent event-driven run. This module fans the grid out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, batching pairs so each
+worker task generates its workload's trace *once* and reuses it for every
+scheme in the batch (trace generation is deterministic per seed, so a
+regenerated trace is identical to the serial runner's).
+
+Determinism: each run's randomness comes entirely from the trace seed and
+the policy seed, both fixed by :class:`~repro.experiments.runner.
+SweepSettings`, so the parallel grid is bit-for-bit identical to the
+serial grid regardless of worker scheduling. Results are reassembled in
+the canonical (settings order) layout, not completion order.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..core.schemes import PolicyContext, make_policy
+from ..memsim.engine import simulate
+from ..memsim.stats import RunStats
+from ..traces.generator import generate_trace
+from ..traces.spec import instructions_for_requests, workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .runner import SweepSettings
+
+__all__ = ["plan_batches", "simulate_batch", "run_sweep_parallel"]
+
+#: Batches submitted per worker (keeps the pool busy when batch runtimes
+#: differ — heavy workloads like mcf take several times longer than light
+#: ones).
+_OVERSUBSCRIBE = 2
+
+
+def plan_batches(
+    workloads: Sequence[str], schemes: Sequence[str], jobs: int
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """Split the grid into (workload, scheme-chunk) tasks.
+
+    Each task covers one workload so its trace is generated once per
+    batch. With more workers than workloads, each workload's scheme list
+    is split into several chunks so every worker still gets work.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    schemes = tuple(schemes)
+    if not schemes:
+        return [(name, ()) for name in workloads]
+    chunks = max(1, math.ceil(jobs * _OVERSUBSCRIBE / max(1, len(workloads))))
+    chunks = min(chunks, len(schemes))
+    size = math.ceil(len(schemes) / chunks)
+    batches: List[Tuple[str, Tuple[str, ...]]] = []
+    for name in workloads:
+        for start in range(0, len(schemes), size):
+            batches.append((name, schemes[start : start + size]))
+    return batches
+
+
+def simulate_batch(
+    settings: "SweepSettings", workload_name: str, schemes: Sequence[str]
+) -> List[Tuple[str, RunStats]]:
+    """Run one workload's trace under each scheme; the worker entry point.
+
+    Also the serial runner's inner loop, so the serial and parallel paths
+    share one code path and cannot diverge.
+    """
+    profile = workload(workload_name)
+    instructions = instructions_for_requests(
+        profile, settings.target_requests, settings.config.num_cores
+    )
+    trace = generate_trace(
+        profile,
+        instructions_per_core=instructions,
+        num_cores=settings.config.num_cores,
+        seed=settings.seed,
+    )
+    results: List[Tuple[str, RunStats]] = []
+    for scheme in schemes:
+        policy = make_policy(
+            scheme,
+            PolicyContext(
+                profile=profile, config=settings.config, seed=settings.seed
+            ),
+        )
+        results.append((scheme, simulate(trace, policy, settings.config)))
+    return results
+
+
+def run_sweep_parallel(
+    settings: "SweepSettings", jobs: int
+) -> Dict[str, Dict[str, RunStats]]:
+    """Compute the full grid with ``jobs`` worker processes.
+
+    Returns:
+        ``{workload: {scheme: RunStats}}`` in canonical settings order.
+    """
+    workloads = settings.effective_workloads()
+    batches = plan_batches(workloads, settings.schemes, jobs)
+    collected: Dict[str, Dict[str, RunStats]] = {name: {} for name in workloads}
+    max_workers = min(jobs, len(batches)) or 1
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(simulate_batch, settings, name, chunk)
+            for name, chunk in batches
+        ]
+        for (name, _chunk), future in zip(batches, futures):
+            for scheme, stats in future.result():
+                collected[name][scheme] = stats
+    # Reassemble in canonical order so iteration matches the serial grid.
+    return {
+        name: {scheme: collected[name][scheme] for scheme in settings.schemes}
+        for name in workloads
+    }

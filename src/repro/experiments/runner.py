@@ -2,8 +2,12 @@
 
 Figures 9/10/11/12/13/14/15 all consume the same underlying data: every
 scheme run on every workload's trace. :func:`run_sweep` produces that grid
-once and memoizes it per :class:`SweepSettings`, so regenerating all
-figures costs one sweep.
+once and memoizes it per :class:`SweepSettings`; with a persistent cache
+(:class:`~repro.experiments.cache.SweepCache`) the grid also survives
+across processes, so regenerating all figures costs zero re-simulation.
+With ``jobs > 1`` the grid is computed by a process pool
+(:mod:`repro.experiments.parallel`) — results are bit-for-bit identical
+to the serial path because all randomness is seed-derived.
 
 Trace lengths adapt to each workload's memory intensity
 (:func:`repro.traces.spec.instructions_for_requests`) so light and heavy
@@ -13,16 +17,22 @@ benchmarks contribute comparable request counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
 
-from ..core.schemes import PolicyContext, make_policy
 from ..memsim.config import MemoryConfig
-from ..memsim.engine import simulate
 from ..memsim.stats import RunStats
-from ..traces.generator import generate_trace
-from ..traces.spec import instructions_for_requests, workload, workload_names
+from ..traces.spec import workload_names
+from .cache import SweepCache
+from .parallel import run_sweep_parallel, simulate_batch
 
-__all__ = ["SweepSettings", "ALL_SCHEMES", "run_sweep", "clear_sweep_cache"]
+__all__ = [
+    "SweepSettings",
+    "ALL_SCHEMES",
+    "run_sweep",
+    "clear_sweep_cache",
+    "configure_sweep_defaults",
+]
 
 #: Every scheme any figure needs, in presentation order.
 ALL_SCHEMES: Tuple[str, ...] = (
@@ -74,43 +84,102 @@ class SweepSettings:
 
 _SWEEP_CACHE: Dict[SweepSettings, Dict[str, Dict[str, RunStats]]] = {}
 
+#: Session-wide defaults for ``run_sweep`` callers that cannot thread the
+#: arguments through (the figure drivers invoked by ``readduo run``).
+_DEFAULT_JOBS = 1
+_DEFAULT_CACHE: Union[bool, SweepCache] = False
 
-def run_sweep(settings: SweepSettings) -> Mapping[str, Mapping[str, RunStats]]:
+#: Accepted by the ``cache=`` parameter.
+CacheSpec = Union[None, bool, str, Path, SweepCache]
+
+
+def configure_sweep_defaults(
+    jobs: Optional[int] = None, cache: CacheSpec = None
+) -> Tuple[int, "CacheSpec"]:
+    """Set process-wide defaults for :func:`run_sweep`.
+
+    The CLI uses this so ``readduo run --jobs 4`` parallelizes the sweeps
+    inside figure drivers whose signatures don't take a jobs argument.
+    Passing ``None`` leaves the corresponding default unchanged.
+
+    Returns:
+        The previous ``(jobs, cache)`` defaults, so a caller can restore
+        them afterwards (the CLI does, keeping ``main()`` reentrant).
+    """
+    global _DEFAULT_JOBS, _DEFAULT_CACHE
+    previous = (_DEFAULT_JOBS, _DEFAULT_CACHE)
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        _DEFAULT_JOBS = int(jobs)
+    if cache is not None:
+        _DEFAULT_CACHE = cache
+    return previous
+
+
+def _resolve_cache(cache: CacheSpec) -> Optional[SweepCache]:
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    if cache is False or cache is None:
+        return None
+    if cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)
+
+
+def run_sweep(
+    settings: SweepSettings,
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
+) -> Mapping[str, Mapping[str, RunStats]]:
     """Simulate every (workload, scheme) pair; memoized per settings.
+
+    Args:
+        settings: The grid to simulate.
+        jobs: Worker processes; 1 runs in-process. ``None`` uses the
+            process-wide default (see :func:`configure_sweep_defaults`).
+        cache: Persistent cache control: ``True`` for the default
+            location (``results/.sweep-cache/``), a path or
+            :class:`SweepCache` for a specific one, ``False`` to disable,
+            ``None`` for the process-wide default (disabled unless
+            configured). Parallel and serial runs share cache entries —
+            the key covers only the settings, never the execution mode.
 
     Returns:
         ``{workload: {scheme: RunStats}}``. The returned mapping is shared
         across callers — treat it as read-only.
     """
-    cached = _SWEEP_CACHE.get(settings)
-    if cached is not None:
-        return cached
-    grid: Dict[str, Dict[str, RunStats]] = {}
-    for name in settings.effective_workloads():
-        profile = workload(name)
-        instructions = instructions_for_requests(
-            profile, settings.target_requests, settings.config.num_cores
-        )
-        trace = generate_trace(
-            profile,
-            instructions_per_core=instructions,
-            num_cores=settings.config.num_cores,
-            seed=settings.seed,
-        )
-        per_scheme: Dict[str, RunStats] = {}
-        for scheme in settings.schemes:
-            policy = make_policy(
-                scheme,
-                PolicyContext(
-                    profile=profile, config=settings.config, seed=settings.seed
-                ),
-            )
-            per_scheme[scheme] = simulate(trace, policy, settings.config)
-        grid[name] = per_scheme
+    memoized = _SWEEP_CACHE.get(settings)
+    if memoized is not None:
+        return memoized
+    persistent = _resolve_cache(cache)
+    if persistent is not None:
+        loaded = persistent.load(settings)
+        if loaded is not None:
+            _SWEEP_CACHE[settings] = loaded
+            return loaded
+    effective_jobs = _DEFAULT_JOBS if jobs is None else jobs
+    if effective_jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if effective_jobs > 1:
+        grid = run_sweep_parallel(settings, effective_jobs)
+    else:
+        grid = {
+            name: dict(simulate_batch(settings, name, settings.schemes))
+            for name in settings.effective_workloads()
+        }
+    if persistent is not None:
+        persistent.store(settings, grid)
     _SWEEP_CACHE[settings] = grid
     return grid
 
 
 def clear_sweep_cache() -> None:
-    """Drop memoized sweeps (tests use this to control memory)."""
+    """Drop memoized sweeps (tests use this to control memory).
+
+    Only the in-process memo is cleared; the persistent on-disk cache is
+    managed separately via :meth:`SweepCache.clear`.
+    """
     _SWEEP_CACHE.clear()

@@ -79,14 +79,20 @@ class _Bank:
 
 
 class _Core:
-    """Mutable per-core replay state."""
+    """Mutable per-core replay state.
 
-    __slots__ = ("ops", "lines", "gaps", "pos", "finish_ns", "done")
+    Holds plain Python lists (``ops``/``lines``) and a pre-scaled
+    ``gaps_ns`` list: scalar indexing into numpy arrays dominates the
+    event loop otherwise, and converting each gap to nanoseconds once up
+    front removes a multiply from every core event.
+    """
 
-    def __init__(self, ops, lines, gaps) -> None:
+    __slots__ = ("ops", "lines", "gaps_ns", "pos", "finish_ns", "done")
+
+    def __init__(self, ops, lines, gaps_ns) -> None:
         self.ops = ops
         self.lines = lines
-        self.gaps = gaps
+        self.gaps_ns = gaps_ns
         self.pos = 0
         self.finish_ns = 0.0
         self.done = len(ops) == 0
@@ -124,6 +130,21 @@ class MemorySystemSim:
         self._banks = [_Bank() for _ in range(config.num_banks)]
         self._cycle_ns = config.timing.cycle_ns
 
+        # Hot-path constants, hoisted so the event loop never re-derives
+        # them per request (attribute chains and dict construction are
+        # measurable at millions of events per run).
+        timing = config.timing
+        self._read_latency_ns = {
+            ReadMode.R: timing.r_read_ns,
+            ReadMode.M: timing.m_read_ns,
+            ReadMode.RM: timing.rm_read_ns,
+        }
+        self._write_ns = timing.write_ns
+        self._bus_ns = timing.bus_ns
+        self._num_banks = config.num_banks
+        self._write_queue_depth = config.write_queue_depth
+        self._cancel_threshold = config.cancel_threshold
+
         # Shared rank channel: demand read transfers vs scrub operations.
         self._chan_busy_until = 0.0
         self._chan_token = 0
@@ -134,13 +155,15 @@ class MemorySystemSim:
 
         self._cores: List[_Core] = []
         per_core = trace.per_core_indices()
+        cycle_ns = self._cycle_ns
         for c in range(config.num_cores):
             idx = per_core.get(c)
             if idx is None or len(idx) == 0:
                 self._cores.append(_Core([], [], []))
             else:
+                gaps_ns = [g * cycle_ns for g in trace.gap[idx].tolist()]
                 self._cores.append(
-                    _Core(trace.op[idx], trace.line[idx], trace.gap[idx])
+                    _Core(trace.op[idx].tolist(), trace.line[idx].tolist(), gaps_ns)
                 )
         self._active_cores = sum(0 if c.done else 1 for c in self._cores)
 
@@ -172,21 +195,28 @@ class MemorySystemSim:
         """Replay the trace to completion and return the statistics."""
         for c, core in enumerate(self._cores):
             if not core.done:
-                first_issue = float(core.gaps[0]) * self._cycle_ns
-                self._push(first_issue, _EV_CORE, c)
+                self._push(core.gaps_ns[0], _EV_CORE, c)
         if self._scrub_tick_ns is not None:
             self._push(self._scrub_tick_ns, _EV_SCRUB)
 
-        while self._heap and self._active_cores > 0:
-            time_ns, _, kind, a, b = heapq.heappop(self._heap)
+        # Bind the loop's invariants to locals; at millions of events per
+        # run the attribute lookups alone are a measurable cost.
+        heap = self._heap
+        heappop = heapq.heappop
+        handle_core = self._handle_core
+        handle_bank_done = self._handle_bank_done
+        handle_channel_done = self._handle_channel_done
+        handle_scrub_tick = self._handle_scrub_tick
+        while heap and self._active_cores > 0:
+            time_ns, _, kind, a, b = heappop(heap)
             if kind == _EV_CORE:
-                self._handle_core(a, time_ns)
+                handle_core(a, time_ns)
             elif kind == _EV_BANK_DONE:
-                self._handle_bank_done(a, b, time_ns)
+                handle_bank_done(a, b, time_ns)
             elif kind == _EV_CHANNEL_DONE:
-                self._handle_channel_done(a, time_ns)
+                handle_channel_done(a, time_ns)
             else:
-                self._handle_scrub_tick(time_ns)
+                handle_scrub_tick(time_ns)
 
         self._flush_pending_writes()
         self.stats.execution_time_ns = max(
@@ -201,14 +231,14 @@ class MemorySystemSim:
         """The core issues its current request at ``now``."""
         core = self._cores[core_id]
         op = core.ops[core.pos]
-        line = int(core.lines[core.pos])
-        bank_id = self.config.bank_of(line)
+        line = core.lines[core.pos]
+        bank_id = line % self._num_banks
         bank = self._banks[bank_id]
         if op == OP_READ:
             self._enqueue_read(bank, bank_id, core_id, line, now)
             # Core blocks; read completion schedules the next issue.
         else:
-            if len(bank.write_q) >= self.config.write_queue_depth:
+            if len(bank.write_q) >= self._write_queue_depth:
                 bank.waiters.append(core_id)  # retried when a slot frees
             else:
                 self._issue_write(bank, bank_id, core_id, line, now)
@@ -235,8 +265,7 @@ class MemorySystemSim:
                 core.done = True
                 self._active_cores -= 1
             return
-        gap_ns = float(core.gaps[core.pos]) * self._cycle_ns
-        self._push(now + gap_ns, _EV_CORE, core_id)
+        self._push(now + core.gaps_ns[core.pos], _EV_CORE, core_id)
 
     # ----------------------------------------------------------------- banks
 
@@ -247,13 +276,11 @@ class MemorySystemSim:
         if (
             bank.job_kind == _JOB_WRITE
             and bank.busy_until > now
-            and self.config.timing.write_ns > 0
+            and self._write_ns > 0
         ):
-            write_latency = (
-                self.config.timing.write_ns * bank.job_payload[2].latency_scale
-            )
+            write_latency = self._write_ns * bank.job_payload[2].latency_scale
             progress = 1.0 - (bank.busy_until - now) / write_latency
-            if progress < self.config.cancel_threshold:
+            if progress < self._cancel_threshold:
                 payload = bank.job_payload
                 bank.write_q.appendleft(payload)
                 bank.token += 1  # invalidate the stale completion event
@@ -272,15 +299,10 @@ class MemorySystemSim:
         """Start the highest-priority pending job if the bank is idle."""
         if bank.busy_until > now or bank.job_kind is not None:
             return
-        timing = self.config.timing
         if bank.read_q:
             core_id, line, enq = bank.read_q.popleft()
             decision = self.policy.on_read(line, self._now_s(now))
-            latency = {
-                ReadMode.R: timing.r_read_ns,
-                ReadMode.M: timing.m_read_ns,
-                ReadMode.RM: timing.rm_read_ns,
-            }[decision.mode]
+            latency = self._read_latency_ns[decision.mode]
             self._start_bank_job(
                 bank, bank_id, _JOB_READ, (core_id, line, enq, decision), now, latency
             )
@@ -289,7 +311,7 @@ class MemorySystemSim:
             payload = bank.write_q.popleft()
             self._release_waiter(bank, bank_id, now)
             # Write truncation [11]: the policy may scale the P&V latency.
-            latency = timing.write_ns * payload[2].latency_scale
+            latency = self._write_ns * payload[2].latency_scale
             self._start_bank_job(bank, bank_id, _JOB_WRITE, payload, now, latency)
 
     def _start_bank_job(
@@ -304,10 +326,10 @@ class MemorySystemSim:
 
     def _release_waiter(self, bank: _Bank, bank_id: int, now: float) -> None:
         """A write-queue slot freed; let one blocked core proceed."""
-        if bank.waiters and len(bank.write_q) < self.config.write_queue_depth:
+        if bank.waiters and len(bank.write_q) < self._write_queue_depth:
             core_id = bank.waiters.popleft()
             core = self._cores[core_id]
-            line = int(core.lines[core.pos])
+            line = core.lines[core.pos]
             self._issue_write(bank, bank_id, core_id, line, now)
 
     def _handle_bank_done(self, bank_id: int, token: int, now: float) -> None:
@@ -348,7 +370,7 @@ class MemorySystemSim:
             duration, _ = self._chan_scrub_q[0]
             self._chan_busy_until = now + duration
         else:
-            self._chan_busy_until = now + self.config.timing.bus_ns
+            self._chan_busy_until = now + self._bus_ns
         self._push(self._chan_busy_until, _EV_CHANNEL_DONE, self._chan_token)
 
     def _handle_channel_done(self, token: int, now: float) -> None:
@@ -380,7 +402,7 @@ class MemorySystemSim:
             stats.uncorrectable_reads += 1
         if decision.convert_to_write:
             conv = self.policy.on_conversion_write(line, self._now_s(now))
-            bank_id = self.config.bank_of(line)
+            bank_id = line % self._num_banks
             bank = self._banks[bank_id]
             bank.write_q.append(("conversion", line, conv))
             stats.conversions += 1

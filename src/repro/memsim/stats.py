@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 from ..pcm.endurance import WearAccount
 from ..pcm.energy import EnergyAccount
+from ..pcm.params import EnergyParams
 
 __all__ = ["RunStats"]
 
@@ -79,6 +81,72 @@ class RunStats:
     def mode_fraction(self, mode: str) -> float:
         """Fraction of demand reads serviced in the given mode."""
         return self.reads_by_mode.get(mode, 0) / self.reads if self.reads else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-serializable form (see :meth:`from_dict`).
+
+        Floats survive a ``json`` round trip bit-for-bit (Python emits
+        shortest-roundtrip reprs), so a reloaded run compares equal to the
+        original on every metric.
+        """
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "execution_time_ns": self.execution_time_ns,
+            "instructions": self.instructions,
+            "reads": self.reads,
+            "writes": self.writes,
+            "reads_by_mode": dict(self.reads_by_mode),
+            "conversions": self.conversions,
+            "silent_corruptions": self.silent_corruptions,
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "scrub_ops": self.scrub_ops,
+            "scrub_rewrites": self.scrub_rewrites,
+            "scrubs_skipped": self.scrubs_skipped,
+            "cancelled_writes": self.cancelled_writes,
+            "total_read_latency_ns": self.total_read_latency_ns,
+            "energy": {
+                "params": dataclasses.asdict(self.energy.params),
+                "data_bits": self.energy.data_bits,
+                "by_category": dict(self.energy.by_category),
+            },
+            "wear": {
+                "cells_per_line": self.wear.cells_per_line,
+                "by_cause": dict(self.wear.by_cause),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunStats":
+        """Rebuild a run from :meth:`to_dict` output (e.g. the sweep cache)."""
+        energy = EnergyAccount(
+            params=EnergyParams(**data["energy"]["params"]),
+            data_bits=data["energy"]["data_bits"],
+            by_category=dict(data["energy"]["by_category"]),
+        )
+        wear = WearAccount(
+            cells_per_line=data["wear"]["cells_per_line"],
+            by_cause=dict(data["wear"]["by_cause"]),
+        )
+        return cls(
+            scheme=data["scheme"],
+            workload=data["workload"],
+            execution_time_ns=data["execution_time_ns"],
+            instructions=data["instructions"],
+            reads=data["reads"],
+            writes=data["writes"],
+            reads_by_mode=dict(data["reads_by_mode"]),
+            conversions=data["conversions"],
+            silent_corruptions=data["silent_corruptions"],
+            uncorrectable_reads=data["uncorrectable_reads"],
+            scrub_ops=data["scrub_ops"],
+            scrub_rewrites=data["scrub_rewrites"],
+            scrubs_skipped=data["scrubs_skipped"],
+            cancelled_writes=data["cancelled_writes"],
+            total_read_latency_ns=data["total_read_latency_ns"],
+            energy=energy,
+            wear=wear,
+        )
 
     def summary(self) -> Dict[str, float]:
         """Compact dictionary for tabular reporting."""

@@ -10,7 +10,7 @@ and EXPERIMENTS.md use it to demonstrate model/simulation agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ def simulate_error_rates(
     r_params: MetricParams = R_METRIC,
     m_params: MetricParams = M_METRIC,
     rng: Optional[np.random.Generator] = None,
-) -> list:
+) -> List[MonteCarloPoint]:
     """Measure cell-error rates of a fresh array at several ages.
 
     The array is programmed once at t=0 with uniform random data and sensed

@@ -71,6 +71,68 @@ class TestCommands:
         assert code == 0
 
 
+class TestSchemeValidation:
+    def test_simulate_unknown_scheme_fails_fast(self, capsys):
+        code = main(["simulate", "--workload", "gcc", "--scheme", "BadName"])
+        assert code == 2
+        assert "unknown schemes: BadName" in capsys.readouterr().err
+
+    def test_sweep_unknown_scheme_fails_fast(self, capsys):
+        code = main(["sweep", "--schemes", "Ideal", "BadName", "--workloads", "gcc"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown schemes: BadName" in err
+        assert "LWT-<k>" in err
+
+    def test_parameterized_families_accepted(self, capsys):
+        # LWT-8 / Select-2:1 are valid beyond the fixed SCHEME_NAMES list.
+        code = main(
+            ["simulate", "--workload", "gcc", "--scheme", "LWT-8",
+             "--requests", "300"]
+        )
+        assert code == 0
+        assert "scheme=LWT-8" in capsys.readouterr().out
+
+
+class TestSweepExecutionFlags:
+    def test_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1 and args.no_cache is False
+        args = build_parser().parse_args(["run", "figure9", "--jobs", "4",
+                                          "--no-cache"])
+        assert args.jobs == 4 and args.no_cache is True
+
+    def test_sweep_parallel_matches_serial_output(self, tmp_path, capsys):
+        common = ["--requests", "800", "--schemes", "Ideal", "Hybrid",
+                  "--workloads", "gcc", "--no-cache"]
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["sweep", "--output", str(serial)] + common) == 0
+        from repro.experiments.runner import clear_sweep_cache
+
+        clear_sweep_cache()
+        assert main(
+            ["sweep", "--output", str(parallel), "--jobs", "2"] + common
+        ) == 0
+        assert serial.read_text() == parallel.read_text()
+
+    def test_sweep_uses_cache_dir_override(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.runner import clear_sweep_cache
+
+        monkeypatch.setenv("READDUO_SWEEP_CACHE", str(tmp_path / "cache"))
+        argv = ["sweep", "--requests", "800", "--schemes", "Ideal",
+                "--workloads", "gcc", "--output", str(tmp_path / "out.json")]
+        assert main(argv) == 0
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 1
+        first = (tmp_path / "out.json").read_text()
+        clear_sweep_cache()
+        # Warm re-run serves from the persistent cache and exports the
+        # identical payload.
+        assert main(argv) == 0
+        assert (tmp_path / "out.json").read_text() == first
+
+
 class TestSweepCommand:
     def test_sweep_to_file(self, tmp_path, capsys):
         import json

@@ -1,0 +1,156 @@
+"""Tests for the persistent on-disk sweep cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.cache import SweepCache, settings_key
+from repro.experiments.runner import SweepSettings, clear_sweep_cache, run_sweep
+from repro.memsim.config import MemoryConfig
+from repro.pcm.params import TimingParams
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+SMALL = SweepSettings(
+    schemes=("Ideal", "Hybrid"),
+    workloads=("gcc",),
+    target_requests=1_200,
+)
+
+
+def _flat(grid):
+    return [
+        (w, s, stats.to_dict())
+        for w, per_scheme in grid.items()
+        for s, stats in per_scheme.items()
+    ]
+
+
+class TestSettingsKey:
+    def test_stable_for_equal_settings(self):
+        assert settings_key(SMALL) == settings_key(
+            SweepSettings(
+                schemes=("Ideal", "Hybrid"),
+                workloads=("gcc",),
+                target_requests=1_200,
+            )
+        )
+
+    def test_explicit_all_workloads_equals_default(self):
+        # The default () expands to all workloads; listing them explicitly
+        # must hit the same cache entry.
+        default = SweepSettings(schemes=("Ideal",))
+        explicit = SweepSettings(
+            schemes=("Ideal",), workloads=default.effective_workloads()
+        )
+        assert settings_key(default) == settings_key(explicit)
+
+    def test_each_sweep_parameter_changes_the_key(self):
+        base = settings_key(SMALL)
+        variants = [
+            SweepSettings(schemes=("Ideal",), workloads=("gcc",),
+                          target_requests=1_200),
+            SweepSettings(schemes=SMALL.schemes, workloads=("mcf",),
+                          target_requests=1_200),
+            SweepSettings(schemes=SMALL.schemes, workloads=("gcc",),
+                          target_requests=2_400),
+            SweepSettings(schemes=SMALL.schemes, workloads=("gcc",),
+                          target_requests=1_200, seed=7),
+        ]
+        keys = {settings_key(v) for v in variants}
+        assert base not in keys and len(keys) == len(variants)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"num_banks": 8},
+            {"cancel_threshold": 0.25},
+            {"write_queue_depth": 16, "write_drain_watermark": 12},
+            {"timing": TimingParams(r_read_ns=120.0)},
+        ],
+    )
+    def test_any_config_field_invalidates(self, change):
+        changed = SweepSettings(
+            schemes=SMALL.schemes,
+            workloads=SMALL.workloads,
+            target_requests=SMALL.target_requests,
+            config=dataclasses.replace(MemoryConfig(), **change),
+        )
+        assert settings_key(changed) != settings_key(SMALL)
+
+    def test_version_is_part_of_the_key(self, monkeypatch):
+        import repro.experiments.cache as cache_mod
+
+        base = settings_key(SMALL)
+        monkeypatch.setattr(cache_mod, "__version__", "0.0.0-test")
+        assert settings_key(SMALL) != base
+
+
+class TestRoundTrip:
+    def test_store_then_fresh_instance_reload_bit_for_bit(self, tmp_path):
+        grid = run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
+        reloaded = SweepCache(tmp_path).load(SMALL)
+        assert reloaded is not None
+        assert _flat(grid) == _flat(reloaded)
+
+    def test_order_sensitive_float_sums_survive_reload(self, tmp_path):
+        # dynamic_energy_pj sums by_category.values(); a store that
+        # reorders the category dict changes the summation order and the
+        # result by one ulp (regression: sort_keys in the cache writer).
+        grid = run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
+        reloaded = SweepCache(tmp_path).load(SMALL)
+        for w, per_scheme in grid.items():
+            for s, stats in per_scheme.items():
+                assert reloaded[w][s].dynamic_energy_pj == stats.dynamic_energy_pj
+
+    def test_run_sweep_warm_cache_skips_simulation(self, tmp_path, monkeypatch):
+        run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
+        clear_sweep_cache()
+
+        import repro.experiments.runner as runner_mod
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError("warm cache must not simulate")
+
+        monkeypatch.setattr(runner_mod, "simulate_batch", explode)
+        monkeypatch.setattr(runner_mod, "run_sweep_parallel", explode)
+        grid = run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
+        assert set(grid["gcc"]) == {"Ideal", "Hybrid"}
+
+    def test_miss_on_empty_dir(self, tmp_path):
+        assert SweepCache(tmp_path).load(SMALL) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        cache.path_for(SMALL).write_text("{not json")
+        assert cache.load(SMALL) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        assert cache.clear() == 1
+        assert cache.load(SMALL) is None
+
+    def test_stored_payload_is_json(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        payload = json.loads(cache.path_for(SMALL).read_text())
+        assert payload["runs"]["gcc"]["Hybrid"]["reads"] > 0
+
+
+class TestParallelSerialCacheEquivalence:
+    def test_parallel_write_serial_read_identical(self, tmp_path):
+        parallel = run_sweep(SMALL, jobs=2, cache=SweepCache(tmp_path))
+        clear_sweep_cache()
+        # The serial uncached run must match what the parallel run cached.
+        serial = run_sweep(SMALL, jobs=1)
+        cached = SweepCache(tmp_path).load(SMALL)
+        assert _flat(serial) == _flat(parallel) == _flat(cached)

@@ -1,0 +1,94 @@
+"""Tests for the process-parallel sweep executor.
+
+Determinism is the contract: a parallel grid must be bit-for-bit
+identical to the serial grid, because all randomness is derived from the
+settings' seed and worker scheduling never feeds back into a run.
+"""
+
+import pytest
+
+from repro.experiments.parallel import plan_batches, run_sweep_parallel, simulate_batch
+from repro.experiments.runner import SweepSettings, clear_sweep_cache, run_sweep
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+SMALL = SweepSettings(
+    schemes=("Ideal", "Hybrid", "LWT-4"),
+    workloads=("gcc", "sphinx3"),
+    target_requests=1_200,
+)
+
+
+def _flat(grid):
+    """Every numeric field of every run, in canonical order."""
+    return [
+        (w, s, stats.to_dict())
+        for w, per_scheme in grid.items()
+        for s, stats in per_scheme.items()
+    ]
+
+
+class TestPlanBatches:
+    def test_one_batch_per_workload_when_workers_scarce(self):
+        batches = plan_batches(("a", "b", "c"), ("S1", "S2"), jobs=1)
+        assert batches == [
+            ("a", ("S1", "S2")),
+            ("b", ("S1", "S2")),
+            ("c", ("S1", "S2")),
+        ]
+
+    def test_schemes_split_when_workers_outnumber_workloads(self):
+        batches = plan_batches(("a",), ("S1", "S2", "S3", "S4"), jobs=4)
+        assert len(batches) > 1
+        covered = [s for _, chunk in batches for s in chunk]
+        assert covered == ["S1", "S2", "S3", "S4"]
+
+    def test_every_pair_covered_exactly_once(self):
+        workloads = ("a", "b", "c")
+        schemes = ("S1", "S2", "S3", "S4", "S5")
+        batches = plan_batches(workloads, schemes, jobs=8)
+        pairs = [(w, s) for w, chunk in batches for s in chunk]
+        assert sorted(pairs) == sorted((w, s) for w in workloads for s in schemes)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            plan_batches(("a",), ("S1",), jobs=0)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = run_sweep(SMALL, jobs=1)
+        clear_sweep_cache()
+        parallel = run_sweep(SMALL, jobs=3)
+        assert _flat(serial) == _flat(parallel)
+
+    def test_parallel_grid_in_canonical_order(self):
+        grid = run_sweep_parallel(SMALL, jobs=2)
+        assert tuple(grid) == SMALL.workloads
+        for per_scheme in grid.values():
+            assert tuple(per_scheme) == SMALL.schemes
+
+    def test_batch_matches_serial_inner_loop(self):
+        # simulate_batch IS the serial inner loop; a direct call must
+        # reproduce the run_sweep entries for its workload.
+        grid = run_sweep(SMALL, jobs=1)
+        batch = dict(simulate_batch(SMALL, "gcc", SMALL.schemes))
+        for scheme in SMALL.schemes:
+            assert batch[scheme].to_dict() == grid["gcc"][scheme].to_dict()
+
+
+class TestRunSweepJobs:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sweep(SMALL, jobs=0)
+
+    def test_parallel_result_is_memoized(self):
+        first = run_sweep(SMALL, jobs=2)
+        second = run_sweep(SMALL, jobs=2)
+        assert first is second
