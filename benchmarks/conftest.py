@@ -38,6 +38,27 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+def bench_meta() -> dict:
+    """Run metadata recorded alongside benchmark numbers.
+
+    Throughput figures are only comparable across commits when the
+    machine and configuration match; this block makes the context of a
+    recorded number auditable.
+    """
+    import platform
+
+    from repro import __version__
+
+    return {
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "bench_requests": BENCH_REQUESTS,
+        "bench_jobs": BENCH_JOBS,
+        "bench_jobs_env": os.environ.get("READDUO_BENCH_JOBS"),
+    }
+
+
 @pytest.fixture(scope="session")
 def warm_sweep():
     """Run the shared scheme x workload sweep once for all figure benches."""

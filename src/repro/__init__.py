@@ -15,6 +15,8 @@ DSN 2016), built as a standalone Python library:
 * :mod:`repro.core` — the ReadDuo schemes (Hybrid, LWT-k, Select-(k:s))
   and baselines;
 * :mod:`repro.metrics` — EDAP and lifetime;
+* :mod:`repro.obs` — opt-in telemetry: metrics registry, event tracing
+  (JSONL / Chrome trace_event), logging helpers (docs/OBSERVABILITY.md);
 * :mod:`repro.experiments` — drivers regenerating every paper table and
   figure (also available as the ``readduo`` CLI).
 
@@ -45,6 +47,7 @@ from .core.schemes import (
 from .memsim.config import DEFAULT_EPOCH_S, MemoryConfig
 from .memsim.engine import MemorySystemSim, simulate
 from .memsim.stats import RunStats
+from .obs import MetricsRegistry, Telemetry, Tracer
 from .pcm.params import M_METRIC, R_METRIC, EnergyParams, MetricParams, TimingParams
 from .reliability.ler import ler_table, line_failure_probability
 from .reliability.targets import DRAM_TARGET, ReliabilityTarget
@@ -78,6 +81,9 @@ __all__ = [
     "MemorySystemSim",
     "simulate",
     "RunStats",
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
     "M_METRIC",
     "R_METRIC",
     "EnergyParams",

@@ -13,6 +13,14 @@ Subcommands:
 Simulation-sweep commands accept ``--jobs N`` (process-parallel grid) and
 ``--no-cache`` (skip the persistent sweep cache under
 ``results/.sweep-cache/``); see README "Performance".
+
+Observability (see docs/OBSERVABILITY.md): ``simulate``/``sweep``/``run``
+accept ``--trace FILE`` (event trace; ``.jsonl`` for raw lines, anything
+else for Chrome ``trace_event`` JSON loadable in chrome://tracing or
+Perfetto), ``--metrics FILE`` (counter/gauge/histogram dump), and
+``-v``/``--log-level`` (stderr diagnostics via stdlib logging). Stdout
+stays reserved for command output — ``sweep --output -`` emits pure
+JSON; every progress or summary line goes to stderr.
 """
 
 from __future__ import annotations
@@ -20,16 +28,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
-from .core.schemes import SCHEME_NAMES, PolicyContext, is_scheme_name, make_policy
+from .core.schemes import (
+    SCHEME_NAMES,
+    PolicyContext,
+    canonical_scheme_name,
+    is_scheme_name,
+    make_policy,
+)
 from .experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
 from .memsim.config import MemoryConfig
 from .memsim.engine import simulate
+from .obs import MetricsRegistry, Telemetry, Tracer, configure_logging, get_logger
 from .traces.generator import generate_trace
 from .traces.spec import instructions_for_requests, workload, workload_names
 
 __all__ = ["main"]
+
+_log = get_logger("cli")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -60,6 +78,37 @@ def _reject_unknown_schemes(schemes: Sequence[str]) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """One Telemetry bundle per command invocation, or None when all off.
+
+    A tracer is created whenever either flag is present: ``--metrics``
+    needs sweep-batch records to summarize even if no trace file is
+    written.
+    """
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    return Telemetry(
+        tracer=Tracer(),
+        metrics=MetricsRegistry() if args.metrics else None,
+    )
+
+
+def _write_telemetry_files(args: argparse.Namespace, tele: Optional[Telemetry]) -> None:
+    """Export --trace/--metrics files; summary notes go to stderr."""
+    if tele is None:
+        return
+    if getattr(args, "trace", None):
+        tele.tracer.write(args.trace)
+        print(
+            f"wrote trace {args.trace}: {len(tele.tracer.records)} records"
+            + (f" ({tele.tracer.dropped} dropped)" if tele.tracer.dropped else ""),
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics", None):
+        tele.metrics.dump_json(args.metrics)
+        print(f"wrote metrics {args.metrics}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments.runner import configure_sweep_defaults
 
@@ -71,11 +120,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    # Figure drivers call run_sweep internally; route --jobs/--no-cache
-    # through the process-wide defaults (restored afterwards so main()
-    # stays reentrant for tests and embedding).
-    prev_jobs, prev_cache = configure_sweep_defaults(
-        jobs=args.jobs, cache=not args.no_cache
+    tele = _build_telemetry(args)
+    # Figure drivers call run_sweep internally; route --jobs/--no-cache/
+    # telemetry through the process-wide defaults (restored afterwards so
+    # main() stays reentrant for tests and embedding).
+    prev_jobs, prev_cache, prev_tele = configure_sweep_defaults(
+        jobs=args.jobs, cache=not args.no_cache, telemetry=tele
     )
     try:
         for name in names:
@@ -83,16 +133,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             kwargs = {}
             if args.quick and name in SWEEP_EXPERIMENTS:
                 kwargs["target_requests"] = args.quick_requests
+            started = time.perf_counter()
             result = driver(**kwargs)
             print(result.render())
             print()
+            _log.info("%s done in %.2fs", name, time.perf_counter() - started)
     finally:
-        configure_sweep_defaults(jobs=prev_jobs, cache=prev_cache)
+        configure_sweep_defaults(
+            jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
+        )
+    _write_telemetry_files(args, tele)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    code = _reject_unknown_schemes([args.scheme])
+    scheme = canonical_scheme_name(args.scheme)
+    code = _reject_unknown_schemes([scheme])
     if code:
         return code
     profile = workload(args.workload)
@@ -107,9 +163,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     policy = make_policy(
-        args.scheme, PolicyContext(profile=profile, config=config, seed=args.seed)
+        scheme, PolicyContext(profile=profile, config=config, seed=args.seed)
     )
-    stats = simulate(trace, policy, config)
+    tele = _build_telemetry(args)
+    started = time.perf_counter()
+    stats = simulate(trace, policy, config, telemetry=tele)
+    _log.info(
+        "simulated %d requests in %.2fs", len(trace), time.perf_counter() - started
+    )
     print(f"workload={stats.workload} scheme={stats.scheme}")
     for key, value in stats.summary().items():
         if key in ("scheme", "workload"):
@@ -121,13 +182,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print("  cell writes by cause:")
     for cause, cells in sorted(stats.wear.by_cause.items()):
         print(f"    {cause:12s} {cells}")
+    if tele is not None:
+        hist = stats.read_latency_hist
+        print("  read latency percentiles (ns, bucket upper bounds):")
+        for q in (50, 90, 99):
+            print(f"    p{q:<10d} {hist.percentile(q):.0f}")
+    _write_telemetry_files(args, tele)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.cache import SweepCache
     from .experiments.runner import ALL_SCHEMES, SweepSettings, run_sweep
 
-    schemes = tuple(args.schemes) if args.schemes else ALL_SCHEMES
+    schemes = (
+        tuple(canonical_scheme_name(s) for s in args.schemes)
+        if args.schemes
+        else ALL_SCHEMES
+    )
     code = _reject_unknown_schemes(schemes)
     if code:
         return code
@@ -137,7 +209,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         target_requests=args.requests,
         seed=args.seed,
     )
-    sweep = run_sweep(settings, jobs=args.jobs, cache=not args.no_cache)
+    tele = _build_telemetry(args)
+    # An explicit SweepCache instance so its hit/miss counters are ours
+    # to report (run_sweep would otherwise build an anonymous one).
+    cache = False if args.no_cache else SweepCache()
+    started = time.perf_counter()
+    sweep = run_sweep(settings, jobs=args.jobs, cache=cache, telemetry=tele)
+    wall_s = time.perf_counter() - started
     payload = {
         "target_requests": settings.target_requests,
         "seed": settings.seed,
@@ -156,14 +234,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for workload_name, per_scheme in sweep.items()
         },
     }
+    if tele is not None:
+        # Only telemetry-enabled invocations get the extra key: the
+        # default payload must stay byte-identical across cold and warm
+        # runs (CI compares them) and with older exports.
+        counters = cache.counters.as_dict() if isinstance(cache, SweepCache) else None
+        payload["telemetry"] = {
+            "wall_time_s": wall_s,
+            "jobs": args.jobs,
+            "cache": counters,
+            "batches": [
+                {k: r[k] for k in ("workload", "schemes", "seconds")}
+                for r in tele.tracer.records
+                if r.get("kind") == "sweep_batch"
+            ],
+        }
+        if tele.metrics is not None:
+            m = tele.metrics
+            m.gauge("sweep.cli_wall_s").set(wall_s)
+            if counters:
+                for key, value in counters.items():
+                    m.counter(f"sweep.cache.{key}").inc(value)
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.output == "-":
         print(text)
     else:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
-        print(f"wrote {args.output}: {len(payload['runs'])} workloads x "
-              f"{len(settings.schemes)} schemes")
+        print(
+            f"wrote {args.output}: {len(payload['runs'])} workloads x "
+            f"{len(settings.schemes)} schemes",
+            file=sys.stderr,
+        )
+    _write_telemetry_files(args, tele)
     return 0
 
 
@@ -186,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--quick-requests", type=int, default=4000,
                        help="requests per trace in --quick mode")
     _add_sweep_execution_flags(p_run)
+    _add_observability_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="run one workload under one scheme")
@@ -196,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--instructions", type=int, default=0,
                        help="override instructions per core")
     p_sim.add_argument("--seed", type=int, default=42)
+    _add_observability_flags(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_sweep = sub.add_parser(
@@ -208,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workloads", nargs="*", default=None)
     _add_sweep_execution_flags(p_sweep)
+    _add_observability_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
@@ -230,10 +336,35 @@ def _add_sweep_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write an event trace: .jsonl for raw records, otherwise "
+             "Chrome trace_event JSON (chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a metrics dump (counters, gauges, latency histograms)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, dest="verbose",
+        help="log progress to stderr (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="explicit stderr log level (DEBUG/INFO/WARNING/ERROR); "
+             "overrides -v",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        verbosity=getattr(args, "verbose", 0),
+        level=getattr(args, "log_level", None),
+    )
     return args.func(args)
 
 

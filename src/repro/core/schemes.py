@@ -51,6 +51,7 @@ __all__ = [
     "SelectPolicy",
     "make_policy",
     "is_scheme_name",
+    "canonical_scheme_name",
     "SCHEME_NAMES",
 ]
 
@@ -511,6 +512,34 @@ SCHEME_NAMES = (
 
 _LWT_RE = re.compile(r"^LWT-(\d+)(-noconv)?$")
 _SELECT_RE = re.compile(r"^Select-(\d+):(\d+)$")
+
+_LWT_ALIAS_RE = re.compile(r"^lwt-(\d+)(-noconv)?$")
+_SELECT_ALIAS_RE = re.compile(r"^select-(\d+):(\d+)$")
+
+
+def canonical_scheme_name(name: str) -> str:
+    """Resolve CLI-friendly aliases onto canonical scheme names.
+
+    Accepts any canonical name unchanged, plus case-insensitive variants
+    with an optional ``readduo-`` prefix: ``readduo-hybrid`` -> ``Hybrid``,
+    ``lwt-4`` -> ``LWT-4``, ``readduo-select-4:2`` -> ``Select-4:2``.
+    Unknown names are returned unchanged so validation can report them.
+    """
+    if is_scheme_name(name):
+        return name
+    lowered = name.lower()
+    if lowered.startswith("readduo-"):
+        lowered = lowered[len("readduo-"):]
+    for canonical in SCHEME_NAMES:
+        if canonical.lower() == lowered:
+            return canonical
+    match = _LWT_ALIAS_RE.match(lowered)
+    if match:
+        return f"LWT-{match.group(1)}" + ("-noconv" if match.group(2) else "")
+    match = _SELECT_ALIAS_RE.match(lowered)
+    if match:
+        return f"Select-{match.group(1)}:{match.group(2)}"
+    return name
 
 
 def is_scheme_name(name: str) -> bool:

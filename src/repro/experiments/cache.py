@@ -21,16 +21,20 @@ import dataclasses
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from .. import __version__
 from ..memsim.stats import RunStats
+from ..obs import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from .runner import SweepSettings
 
-__all__ = ["SweepCache", "default_cache_dir", "settings_key"]
+__all__ = ["CacheCounters", "SweepCache", "default_cache_dir", "settings_key"]
+
+_log = get_logger("experiments.cache")
 
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "READDUO_SWEEP_CACHE"
@@ -68,15 +72,53 @@ def settings_key(settings: "SweepSettings") -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for one :class:`SweepCache` instance.
+
+    Counted in **runs** (one run = one (workload, scheme) pair), so a
+    whole-grid load shows up as ``len(grid)`` hits rather than one — a
+    cold sweep reports all misses, a warm rerun all hits. ``stale``
+    counts load attempts that found a file but could not use it (corrupt
+    JSON, incompatible layout); each stale load also reports its runs as
+    misses, since they will be re-simulated.
+
+    Attributes:
+        hits: Runs served from disk.
+        misses: Runs that had to be simulated.
+        stale: Unusable cache files encountered.
+        stores: Grids written back to disk.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "stores": self.stores,
+        }
+
+
 class SweepCache:
     """Persistent ``{workload: {scheme: RunStats}}`` store, one file per sweep.
 
     Args:
         cache_dir: Root directory; created lazily on first store.
+
+    Attributes:
+        counters: Per-instance hit/miss/stale accounting
+            (:class:`CacheCounters`), surfaced by the CLI's sweep
+            telemetry. Reset with ``cache.counters = CacheCounters()``.
     """
 
     def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.counters = CacheCounters()
 
     def path_for(self, settings: "SweepSettings") -> Path:
         """The cache file a sweep with these settings lives in."""
@@ -89,17 +131,24 @@ class SweepCache:
         treated as a miss rather than an error; the next store overwrites it.
         """
         path = self.path_for(settings)
+        expected = len(settings.schemes) * len(settings.effective_workloads())
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            self.counters.misses += expected
+            return None
         except (OSError, ValueError):
+            self.counters.stale += 1
+            self.counters.misses += expected
+            _log.warning("unreadable sweep cache entry %s; re-simulating", path)
             return None
         try:
             runs = payload["runs"]
             # Reassemble in canonical settings order (the stored JSON is
             # key-sorted) so a reloaded grid iterates exactly like a
             # freshly simulated one.
-            return {
+            grid = {
                 workload: {
                     scheme: RunStats.from_dict(runs[workload][scheme])
                     for scheme in settings.schemes
@@ -107,7 +156,13 @@ class SweepCache:
                 for workload in settings.effective_workloads()
             }
         except (KeyError, TypeError):
+            self.counters.stale += 1
+            self.counters.misses += expected
+            _log.warning("stale sweep cache entry %s; re-simulating", path)
             return None
+        self.counters.hits += expected
+        _log.debug("sweep cache hit: %d runs from %s", expected, path)
+        return grid
 
     def store(
         self, settings: "SweepSettings", grid: Dict[str, Dict[str, RunStats]]
@@ -132,6 +187,8 @@ class SweepCache:
             # reproduce to the last ulp after a reload.
             json.dump(payload, handle)
         os.replace(tmp, path)
+        self.counters.stores += 1
+        _log.debug("stored sweep cache entry %s", path)
         return path
 
     def clear(self) -> int:

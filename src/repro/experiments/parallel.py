@@ -17,12 +17,14 @@ the canonical (settings order) layout, not completion order.
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.schemes import PolicyContext, make_policy
 from ..memsim.engine import simulate
 from ..memsim.stats import RunStats
+from ..obs import Telemetry, get_logger
 from ..traces.generator import generate_trace
 from ..traces.spec import instructions_for_requests, workload
 
@@ -30,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from .runner import SweepSettings
 
 __all__ = ["plan_batches", "simulate_batch", "run_sweep_parallel"]
+
+_log = get_logger("experiments.parallel")
 
 #: Batches submitted per worker (keeps the pool busy when batch runtimes
 #: differ — heavy workloads like mcf take several times longer than light
@@ -91,10 +95,28 @@ def simulate_batch(
     return results
 
 
+def _timed_batch(
+    settings: "SweepSettings", workload_name: str, schemes: Sequence[str]
+) -> Tuple[float, List[Tuple[str, RunStats]]]:
+    """Pool entry point: run a batch and report its in-worker wall time."""
+    start = time.perf_counter()
+    results = simulate_batch(settings, workload_name, schemes)
+    return time.perf_counter() - start, results
+
+
 def run_sweep_parallel(
-    settings: "SweepSettings", jobs: int
+    settings: "SweepSettings",
+    jobs: int,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Dict[str, RunStats]]:
     """Compute the full grid with ``jobs`` worker processes.
+
+    Progress is logged (INFO, stderr) as batches complete, with each
+    batch's in-worker wall time; when ``telemetry`` carries a tracer,
+    every batch also emits a ``sweep_batch`` record. Completion order
+    only affects reporting — results are reassembled in canonical
+    settings order, so the grid is bit-for-bit identical to the serial
+    one.
 
     Returns:
         ``{workload: {scheme: RunStats}}`` in canonical settings order.
@@ -103,14 +125,34 @@ def run_sweep_parallel(
     batches = plan_batches(workloads, settings.schemes, jobs)
     collected: Dict[str, Dict[str, RunStats]] = {name: {} for name in workloads}
     max_workers = min(jobs, len(batches)) or 1
+    tracer = telemetry.tracer if telemetry is not None else None
+    sweep_start = time.perf_counter()
+    done_count = 0
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(simulate_batch, settings, name, chunk)
+        pending = {
+            pool.submit(_timed_batch, settings, name, chunk): (name, chunk)
             for name, chunk in batches
-        ]
-        for (name, _chunk), future in zip(batches, futures):
-            for scheme, stats in future.result():
-                collected[name][scheme] = stats
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                name, chunk = pending.pop(future)
+                elapsed, results = future.result()
+                for scheme, stats in results:
+                    collected[name][scheme] = stats
+                done_count += 1
+                _log.info(
+                    "sweep batch %d/%d: %s x %d schemes in %.2fs (worker)",
+                    done_count, len(batches), name, len(chunk), elapsed,
+                )
+                if tracer is not None:
+                    tracer.emit({
+                        "kind": "sweep_batch",
+                        "workload": name,
+                        "schemes": len(chunk),
+                        "seconds": elapsed,
+                        "start_s": time.perf_counter() - sweep_start - elapsed,
+                    })
     # Reassemble in canonical order so iteration matches the serial grid.
     return {
         name: {scheme: collected[name][scheme] for scheme in settings.schemes}

@@ -16,12 +16,14 @@ benchmarks contribute comparable request counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..memsim.config import MemoryConfig
 from ..memsim.stats import RunStats
+from ..obs import Telemetry, get_logger
 from ..traces.spec import workload_names
 from .cache import SweepCache
 from .parallel import run_sweep_parallel, simulate_batch
@@ -84,36 +86,50 @@ class SweepSettings:
 
 _SWEEP_CACHE: Dict[SweepSettings, Dict[str, Dict[str, RunStats]]] = {}
 
+_log = get_logger("experiments.runner")
+
 #: Session-wide defaults for ``run_sweep`` callers that cannot thread the
 #: arguments through (the figure drivers invoked by ``readduo run``).
 _DEFAULT_JOBS = 1
 _DEFAULT_CACHE: Union[bool, SweepCache] = False
+_DEFAULT_TELEMETRY: Optional[Telemetry] = None
 
 #: Accepted by the ``cache=`` parameter.
 CacheSpec = Union[None, bool, str, Path, SweepCache]
 
+#: "Leave unchanged" sentinel for the telemetry default (``None`` means
+#: "clear", unlike jobs/cache where ``None`` means "keep").
+_UNSET = object()
+
 
 def configure_sweep_defaults(
-    jobs: Optional[int] = None, cache: CacheSpec = None
-) -> Tuple[int, "CacheSpec"]:
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
+    telemetry: object = _UNSET,
+) -> Tuple[int, "CacheSpec", Optional[Telemetry]]:
     """Set process-wide defaults for :func:`run_sweep`.
 
     The CLI uses this so ``readduo run --jobs 4`` parallelizes the sweeps
-    inside figure drivers whose signatures don't take a jobs argument.
+    inside figure drivers whose signatures don't take a jobs argument
+    (and so ``readduo run --metrics`` observes those internal sweeps).
     Passing ``None`` leaves the corresponding default unchanged.
 
     Returns:
-        The previous ``(jobs, cache)`` defaults, so a caller can restore
-        them afterwards (the CLI does, keeping ``main()`` reentrant).
+        The previous ``(jobs, cache, telemetry)`` defaults, so a caller
+        can restore them afterwards (the CLI does, keeping ``main()``
+        reentrant).
     """
-    global _DEFAULT_JOBS, _DEFAULT_CACHE
-    previous = (_DEFAULT_JOBS, _DEFAULT_CACHE)
+    global _DEFAULT_JOBS, _DEFAULT_CACHE, _DEFAULT_TELEMETRY
+    previous = (_DEFAULT_JOBS, _DEFAULT_CACHE, _DEFAULT_TELEMETRY)
     if jobs is not None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         _DEFAULT_JOBS = int(jobs)
     if cache is not None:
         _DEFAULT_CACHE = cache
+    if telemetry is not _UNSET:
+        live = isinstance(telemetry, Telemetry) and telemetry.enabled
+        _DEFAULT_TELEMETRY = telemetry if live else None
     return previous
 
 
@@ -133,6 +149,7 @@ def run_sweep(
     settings: SweepSettings,
     jobs: Optional[int] = None,
     cache: CacheSpec = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Mapping[str, Mapping[str, RunStats]]:
     """Simulate every (workload, scheme) pair; memoized per settings.
 
@@ -146,30 +163,70 @@ def run_sweep(
             ``None`` for the process-wide default (disabled unless
             configured). Parallel and serial runs share cache entries —
             the key covers only the settings, never the execution mode.
+        telemetry: Optional :class:`~repro.obs.Telemetry`; batch
+            completions emit ``sweep_batch`` tracer records and the
+            registry accumulates ``sweep.*`` counters. ``None`` uses the
+            process-wide default. Progress is also logged at INFO to the
+            ``repro.experiments`` loggers (stderr) regardless.
 
     Returns:
         ``{workload: {scheme: RunStats}}``. The returned mapping is shared
         across callers — treat it as read-only.
     """
+    if telemetry is None:
+        telemetry = _DEFAULT_TELEMETRY
+    n_runs = len(settings.schemes) * len(settings.effective_workloads())
     memoized = _SWEEP_CACHE.get(settings)
     if memoized is not None:
+        _log.debug("sweep served from in-process memo (%d runs)", n_runs)
         return memoized
     persistent = _resolve_cache(cache)
     if persistent is not None:
         loaded = persistent.load(settings)
         if loaded is not None:
+            _log.info("sweep cache hit: %d runs served from disk", n_runs)
+            if telemetry is not None and telemetry.tracer is not None:
+                telemetry.tracer.emit(
+                    {"kind": "sweep_cache", "result": "hit", "runs": n_runs}
+                )
             _SWEEP_CACHE[settings] = loaded
             return loaded
     effective_jobs = _DEFAULT_JOBS if jobs is None else jobs
     if effective_jobs < 1:
         raise ValueError("jobs must be >= 1")
+    workloads = settings.effective_workloads()
+    _log.info(
+        "sweep start: %d workloads x %d schemes, %d job(s)",
+        len(workloads), len(settings.schemes), effective_jobs,
+    )
+    sweep_start = time.perf_counter()
     if effective_jobs > 1:
-        grid = run_sweep_parallel(settings, effective_jobs)
+        grid = run_sweep_parallel(settings, effective_jobs, telemetry)
     else:
-        grid = {
-            name: dict(simulate_batch(settings, name, settings.schemes))
-            for name in settings.effective_workloads()
-        }
+        grid = {}
+        for index, name in enumerate(workloads, start=1):
+            batch_start = time.perf_counter()
+            grid[name] = dict(simulate_batch(settings, name, settings.schemes))
+            elapsed = time.perf_counter() - batch_start
+            _log.info(
+                "sweep batch %d/%d: %s x %d schemes in %.2fs",
+                index, len(workloads), name, len(settings.schemes), elapsed,
+            )
+            if telemetry is not None and telemetry.tracer is not None:
+                telemetry.tracer.emit({
+                    "kind": "sweep_batch",
+                    "workload": name,
+                    "schemes": len(settings.schemes),
+                    "seconds": elapsed,
+                    "start_s": batch_start - sweep_start,
+                })
+    total = time.perf_counter() - sweep_start
+    _log.info("sweep done: %d runs in %.2fs", n_runs, total)
+    if telemetry is not None and telemetry.metrics is not None:
+        metrics = telemetry.metrics
+        metrics.counter("sweep.runs_simulated").inc(n_runs)
+        metrics.counter("sweep.sweeps").inc()
+        metrics.gauge("sweep.last_wall_s").set(total)
     if persistent is not None:
         persistent.store(settings, grid)
     _SWEEP_CACHE[settings] = grid

@@ -35,6 +35,7 @@ import heapq
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
+from ..obs import Telemetry
 from ..traces.trace import OP_READ, Trace
 from .config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
 from .policy import ReadMode, SchemePolicy
@@ -108,6 +109,13 @@ class MemorySystemSim:
         config: Platform parameters.
         epoch_s: Absolute time of simulation start; chosen large so lines
             can carry steady-state ages that predate the run.
+        telemetry: Optional :class:`~repro.obs.Telemetry` bundle. When
+            ``None`` (or fully null) the run is bit-identical to an
+            uninstrumented one and the event loop pays only a handful of
+            ``is None`` checks; when live, the engine records per-request
+            trace events, fills the :class:`RunStats` latency/queue-depth
+            histograms, and snapshots run counters into the registry.
+            Telemetry never changes simulated behaviour — only observes.
     """
 
     def __init__(
@@ -116,11 +124,21 @@ class MemorySystemSim:
         policy: SchemePolicy,
         config: MemoryConfig = DEFAULT_MEMORY_CONFIG,
         epoch_s: float = DEFAULT_EPOCH_S,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.trace = trace
         self.policy = policy
         self.config = config
         self.epoch_s = epoch_s
+        # Resolved once: self._tele is None unless something is live, so
+        # hot-path guards are a single attribute test.
+        if telemetry is not None and telemetry.enabled:
+            self._tele: Optional[Telemetry] = telemetry
+            tracer = telemetry.tracer
+            self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        else:
+            self._tele = None
+            self._tracer = None
         self.stats = RunStats(scheme=policy.name, workload=trace.name)
         self.stats.energy.params = config.energy
         self.stats.wear.cells_per_line = config.cells_per_line_write
@@ -223,7 +241,40 @@ class MemorySystemSim:
             (c.finish_ns for c in self._cores), default=0.0
         )
         self.stats.instructions = int(self.trace.gap.sum()) + len(self.trace)
+        if self._tele is not None and self._tele.metrics is not None:
+            self._snapshot_metrics(self._tele.metrics)
         return self.stats
+
+    def _snapshot_metrics(self, registry) -> None:
+        """Publish the finished run's totals into the metrics registry.
+
+        Counters mirror :class:`RunStats` fields (see
+        docs/OBSERVABILITY.md for the name schema); the latency and
+        queue-depth histograms are adopted as-is so the dump shares the
+        exact objects the stats expose.
+        """
+        stats = self.stats
+        for name, value in (
+            ("sim.reads", stats.reads),
+            ("sim.writes", stats.writes),
+            ("sim.conversions", stats.conversions),
+            ("sim.cancelled_writes", stats.cancelled_writes),
+            ("sim.silent_corruptions", stats.silent_corruptions),
+            ("sim.uncorrectable_reads", stats.uncorrectable_reads),
+            ("sim.scrub.ops", stats.scrub_ops),
+            ("sim.scrub.rewrites", stats.scrub_rewrites),
+            ("sim.scrub.skipped", stats.scrubs_skipped),
+        ):
+            registry.counter(name).inc(value)
+        for mode, count in sorted(stats.reads_by_mode.items()):
+            registry.counter(f"sim.reads.mode.{mode}").inc(count)
+        registry.gauge("sim.execution_time_ns").set(stats.execution_time_ns)
+        registry.gauge("sim.events_scheduled").set(self._seq)
+        if self._tracer is not None:
+            registry.counter("trace.records").inc(len(self._tracer.records))
+            registry.counter("trace.dropped").inc(self._tracer.dropped)
+        registry.adopt_histogram("sim.read_latency_ns", stats.read_latency_hist)
+        registry.adopt_histogram("sim.queue_depth", stats.queue_depth_hist)
 
     # ----------------------------------------------------------------- cores
 
@@ -292,7 +343,20 @@ class MemorySystemSim:
                 decision = payload[2]
                 wasted = decision.cells_written * max(progress, 0.0)
                 self.stats.energy.add_write(int(wasted), category="write")
-        bank.read_q.append((core_id, line, now))
+                if self._tracer is not None:
+                    self._tracer.emit({
+                        "kind": "write_cancel",
+                        "bank": bank_id,
+                        "line": payload[1],
+                        "progress": max(progress, 0.0),
+                        "time_ns": now,
+                    })
+        if self._tele is None:
+            bank.read_q.append((core_id, line, now))
+        else:
+            depth = len(bank.read_q)
+            self.stats.queue_depth_hist.record(depth)
+            bank.read_q.append((core_id, line, now, depth))
         self._try_start_bank(bank, bank_id, now)
 
     def _try_start_bank(self, bank: _Bank, bank_id: int, now: float) -> None:
@@ -300,12 +364,18 @@ class MemorySystemSim:
         if bank.busy_until > now or bank.job_kind is not None:
             return
         if bank.read_q:
-            core_id, line, enq = bank.read_q.popleft()
-            decision = self.policy.on_read(line, self._now_s(now))
+            if self._tele is None:
+                core_id, line, enq = bank.read_q.popleft()
+                decision = self.policy.on_read(line, self._now_s(now))
+                payload = (core_id, line, enq, decision)
+            else:
+                # Telemetry payloads also carry the service start time and
+                # the queue depth observed at issue.
+                core_id, line, enq, depth = bank.read_q.popleft()
+                decision = self.policy.on_read(line, self._now_s(now))
+                payload = (core_id, line, enq, decision, now, depth)
             latency = self._read_latency_ns[decision.mode]
-            self._start_bank_job(
-                bank, bank_id, _JOB_READ, (core_id, line, enq, decision), now, latency
-            )
+            self._start_bank_job(bank, bank_id, _JOB_READ, payload, now, latency)
             return
         if bank.write_q:
             payload = bank.write_q.popleft()
@@ -343,6 +413,15 @@ class MemorySystemSim:
             self._finish_read_sensing(bank, payload, now)
         else:
             self._complete_write(payload)
+            if self._tracer is not None:
+                self._tracer.emit({
+                    "kind": "write",
+                    "cause": payload[0],
+                    "bank": bank_id,
+                    "line": payload[1],
+                    "start_ns": bank.job_start,
+                    "complete_ns": now,
+                })
         self._try_start_bank(bank, bank_id, now)
 
     # --------------------------------------------------------------- channel
@@ -387,13 +466,30 @@ class MemorySystemSim:
         self._try_start_channel(now)
 
     def _complete_read(self, payload, now: float) -> None:
-        core_id, line, enq, decision = payload
+        if self._tele is None:
+            core_id, line, enq, decision = payload
+        else:
+            core_id, line, enq, decision, start_ns, depth = payload
         stats = self.stats
         stats.reads += 1
         mode = decision.mode.value
         stats.reads_by_mode[mode] = stats.reads_by_mode.get(mode, 0) + 1
         stats.total_read_latency_ns += now - enq
         stats.energy.add_read("RM" if decision.mode is ReadMode.RM else mode)
+        if self._tele is not None:
+            stats.read_latency_hist.record(now - enq)
+            if self._tracer is not None:
+                self._tracer.emit({
+                    "kind": "read",
+                    "core": core_id,
+                    "bank": line % self._num_banks,
+                    "line": line,
+                    "mode": mode,
+                    "queue_depth": depth,
+                    "issue_ns": enq,
+                    "start_ns": start_ns,
+                    "complete_ns": now,
+                })
         if decision.flag_access:
             stats.energy.add_flag_access()
         if decision.silent_corruption:
@@ -449,17 +545,28 @@ class MemorySystemSim:
         duration += (
             timing.r_read_ns if sense_metric == "R" else timing.m_read_ns
         )
+        skipped = False
         if self.config.scrub_blocks_channel:
             if len(self._chan_scrub_q) >= self.config.scrub_backlog_cap:
                 # The sweep cannot keep pace; skip this visit and record
                 # the reliability debt instead of starving demand forever.
                 self.stats.scrubs_skipped += len(decisions)
+                skipped = True
             else:
                 self._chan_scrub_q.append((duration, decisions))
                 self._try_start_channel(now)
         else:
             for decision in decisions:
                 self._account_scrub(decision)
+        if self._tracer is not None:
+            self._tracer.emit({
+                "kind": "scrub",
+                "time_ns": now,
+                "lines": len(decisions),
+                "rewrites": sum(1 for d in decisions if d.rewrite),
+                "duration_ns": duration,
+                "skipped": skipped,
+            })
         self._push(now + self._scrub_tick_ns, _EV_SCRUB)
 
     # ------------------------------------------------------------------- end
@@ -484,6 +591,9 @@ def simulate(
     policy: SchemePolicy,
     config: MemoryConfig = DEFAULT_MEMORY_CONFIG,
     epoch_s: float = DEFAULT_EPOCH_S,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunStats:
     """Convenience wrapper: build a sim, run it, return the stats."""
-    return MemorySystemSim(trace, policy, config, epoch_s=epoch_s).run()
+    return MemorySystemSim(
+        trace, policy, config, epoch_s=epoch_s, telemetry=telemetry
+    ).run()

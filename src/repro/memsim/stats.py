@@ -6,11 +6,24 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
+from ..obs.metrics import (
+    QUEUE_DEPTH_BUCKETS,
+    READ_LATENCY_BUCKETS_NS,
+    Histogram,
+)
 from ..pcm.endurance import WearAccount
 from ..pcm.energy import EnergyAccount
 from ..pcm.params import EnergyParams
 
 __all__ = ["RunStats"]
+
+
+def _read_latency_histogram() -> Histogram:
+    return Histogram(READ_LATENCY_BUCKETS_NS)
+
+
+def _queue_depth_histogram() -> Histogram:
+    return Histogram(QUEUE_DEPTH_BUCKETS)
 
 
 @dataclass
@@ -36,6 +49,13 @@ class RunStats:
             (queueing included), for mean-latency reporting.
         energy: Dynamic-energy account (pJ, by category).
         wear: Cell-write account (by cause).
+        read_latency_hist: Per-read latency distribution (ns). Only
+            populated when the engine runs with telemetry enabled;
+            excluded from equality, :meth:`to_dict`, and therefore the
+            sweep cache key/payload, so telemetry never perturbs cached
+            or compared results.
+        queue_depth_hist: Bank read-queue depth seen by each arriving
+            read; same telemetry-only, compare-excluded treatment.
     """
 
     scheme: str
@@ -55,6 +75,12 @@ class RunStats:
     total_read_latency_ns: float = 0.0
     energy: EnergyAccount = field(default_factory=EnergyAccount)
     wear: WearAccount = field(default_factory=WearAccount)
+    read_latency_hist: Histogram = field(
+        default_factory=_read_latency_histogram, compare=False, repr=False
+    )
+    queue_depth_hist: Histogram = field(
+        default_factory=_queue_depth_histogram, compare=False, repr=False
+    )
 
     @property
     def ipc(self) -> float:
@@ -87,7 +113,9 @@ class RunStats:
 
         Floats survive a ``json`` round trip bit-for-bit (Python emits
         shortest-roundtrip reprs), so a reloaded run compares equal to the
-        original on every metric.
+        original on every metric. The telemetry histograms are deliberately
+        excluded: cache payloads and cross-run comparisons must not depend
+        on whether a run was traced.
         """
         return {
             "scheme": self.scheme,

@@ -1,0 +1,77 @@
+"""Observability for the simulator and the experiment sweeps.
+
+Three cooperating pieces, all optional and all off by default:
+
+* :mod:`repro.obs.metrics` — a lightweight metrics registry (counters,
+  gauges, fixed-bucket histograms) with a no-op null backend;
+* :mod:`repro.obs.tracing` — an in-memory event tracer exportable as
+  JSONL or Chrome ``trace_event`` JSON (chrome://tracing / Perfetto);
+* :mod:`repro.obs.logutil` — stdlib-logging helpers that keep every
+  diagnostic line on stderr.
+
+:class:`Telemetry` bundles a tracer and a registry so call sites thread
+one optional argument instead of two. The engine treats ``None`` (the
+default everywhere) as "fully disabled" and pays essentially nothing on
+its hot path; see docs/OBSERVABILITY.md for the metric names, the trace
+schema, and measured overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .logutil import configure_logging, get_logger, verbosity_to_level
+from .metrics import (
+    NULL_REGISTRY,
+    QUEUE_DEPTH_BUCKETS,
+    READ_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .tracing import NullTracer, Tracer, chrome_trace_events
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "chrome_trace_events",
+    "READ_LATENCY_BUCKETS_NS",
+    "QUEUE_DEPTH_BUCKETS",
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+]
+
+
+class Telemetry:
+    """Bundle of an event tracer and a metrics registry.
+
+    Either side may be ``None``; :attr:`enabled` is true when at least
+    one is live (null backends count as absent). Consumers that receive
+    ``telemetry=None`` skip all instrumentation work.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        tracing = self.tracer is not None and self.tracer.enabled
+        measuring = self.metrics is not None and self.metrics.enabled
+        return tracing or measuring

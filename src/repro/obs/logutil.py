@@ -1,0 +1,64 @@
+"""Stdlib-logging helpers shared by the CLI and the sweep runner.
+
+All repro logging hangs off the ``"repro"`` logger namespace and writes
+to **stderr**, never stdout — ``readduo sweep --output -`` must keep
+stdout pure JSON. Library code just calls :func:`get_logger` and logs;
+nothing is printed unless an application (the CLI, a test) calls
+:func:`configure_logging` or installs its own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "verbosity_to_level"]
+
+_ROOT = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map ``-v`` counts onto levels: 0=WARNING, 1=INFO, 2+=DEBUG."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, level: Optional[str] = None, stream=None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    Args:
+        verbosity: ``-v`` count (ignored when ``level`` is given).
+        level: Explicit level name (``"DEBUG"``, ``"info"``, ...).
+        stream: Output stream; defaults to ``sys.stderr``.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    instead of stacking a second one, so ``main()`` stays reentrant.
+    """
+    logger = logging.getLogger(_ROOT)
+    if level is not None:
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        resolved = verbosity_to_level(verbosity)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname).1s %(name)s: %(message)s"))
+    handler.set_name("repro-cli")
+    for existing in list(logger.handlers):
+        if existing.get_name() == "repro-cli":
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

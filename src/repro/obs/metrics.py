@@ -1,0 +1,278 @@
+"""Lightweight metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments that a
+simulation (or sweep) run fills in and dumps as JSON. The design goals,
+in order:
+
+1. **Zero hot-path cost when disabled.** The engine takes an optional
+   telemetry bundle; when absent it performs no metric work at all, and
+   :class:`NullRegistry` / the null instruments exist so shared helper
+   code can call ``counter(...).inc()`` unconditionally without paying
+   for dict lookups or attribute churn.
+2. **Cheap when enabled.** Instruments are plain Python objects with an
+   integer/float slot; ``Histogram.record`` is one ``bisect`` into a
+   fixed boundary list. No locks, no label cartesian products — a name
+   is a name.
+3. **Serializable.** ``to_dict()`` produces a stable JSON-friendly
+   snapshot (used by ``readduo simulate --metrics`` and the sweep
+   ``telemetry`` key).
+
+Bucket layouts for the two engine histograms live here
+(:data:`READ_LATENCY_BUCKETS_NS`, :data:`QUEUE_DEPTH_BUCKETS`) so the
+engine, docs, and tests agree on one schema.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "READ_LATENCY_BUCKETS_NS",
+    "QUEUE_DEPTH_BUCKETS",
+]
+
+#: Demand-read latency buckets (ns). Anchored on the paper's sensing
+#: latencies (R-read 150 ns, M-read 450 ns, R-M-read 600 ns) and growing
+#: roughly geometrically to cover queueing/contention tails.
+READ_LATENCY_BUCKETS_NS: Sequence[float] = (
+    150.0, 200.0, 300.0, 450.0, 600.0, 800.0, 1_000.0, 1_500.0,
+    2_000.0, 3_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    100_000.0, 500_000.0, 1_000_000.0,
+)
+
+#: Per-bank read-queue depth observed by each arriving read.
+QUEUE_DEPTH_BUCKETS: Sequence[float] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0,
+)
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with an overflow bucket.
+
+    ``boundaries`` are upper-inclusive bucket edges; a recorded value
+    lands in the first bucket whose edge is >= value, or in the final
+    overflow bucket. ``counts`` therefore has ``len(boundaries) + 1``
+    entries.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "sum")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        edges = list(boundaries)
+        if edges != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram boundaries must be strictly increasing")
+        if not edges:
+            raise ValueError("histogram needs at least one boundary")
+        self.boundaries: List[float] = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0 < q <= 100) from bucket edges.
+
+        Returns the upper edge of the bucket containing the q-th sample
+        (the last finite edge for overflow samples); 0.0 when empty.
+        """
+        if not 0.0 < q <= 100.0:
+            raise ValueError("q must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.boundaries[min(i, len(self.boundaries) - 1)]
+        return self.boundaries[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges, and histograms.
+
+    Instrument accessors are idempotent: asking twice for the same name
+    returns the same object; asking for a name already registered as a
+    different kind raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            self._check_unregistered(name, self._gauges, self._histograms)
+            found = self._counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            self._check_unregistered(name, self._counters, self._histograms)
+            found = self._gauges[name] = Gauge()
+        return found
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            if boundaries is None:
+                raise ValueError(f"first use of histogram {name!r} needs boundaries")
+            self._check_unregistered(name, self._counters, self._gauges)
+            found = self._histograms[name] = Histogram(boundaries)
+        return found
+
+    def adopt_histogram(self, name: str, hist: Histogram) -> Histogram:
+        """Register an externally built histogram under ``name``.
+
+        The engine fills :class:`~repro.memsim.stats.RunStats` histograms
+        while it runs and adopts them into the registry at the end, so
+        the dump carries the same objects the stats expose.
+        """
+        self._check_unregistered(name, self._counters, self._gauges)
+        self._histograms[name] = hist
+        return hist
+
+    def _check_unregistered(self, name: str, *other_kinds: Dict) -> None:
+        for registry in other_kinds:
+            if name in registry:
+                raise ValueError(f"metric {name!r} already registered as another kind")
+
+    # ------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot, keys sorted for stable output."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    def dump_json(self, path: Union[str, "object"]) -> None:
+        """Write the snapshot to ``path`` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__([1.0])
+
+    def record(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op backend: every accessor returns a shared no-op instrument.
+
+    Lets helper code record metrics unconditionally while a disabled run
+    pays only for the method dispatch. The hot engine path goes further
+    and skips the calls entirely when telemetry is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def adopt_histogram(self, name: str, hist: Histogram) -> Histogram:
+        return hist
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared no-op registry for callers that want a never-None default.
+NULL_REGISTRY = NullRegistry()

@@ -175,3 +175,126 @@ class TestSweepCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert '"runs"' in out
+
+    def test_sweep_stdout_stays_pure_json(self, tmp_path, capsys):
+        """`--output -` with progress + telemetry chatter must keep stdout
+        machine-parseable; everything human goes to stderr."""
+        import json
+
+        code = main(
+            [
+                "sweep", "--output", "-", "--requests", "800",
+                "--schemes", "Ideal", "--workloads", "gcc", "--no-cache",
+                "-v", "--metrics", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # would raise on any stray line
+        assert set(payload["runs"]) == {"gcc"}
+        assert "telemetry" in payload
+
+    def test_sweep_wrote_note_goes_to_stderr(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--output", str(out), "--requests", "800",
+             "--schemes", "Ideal", "--workloads", "gcc", "--no-cache"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert f"wrote {out}" in captured.err
+
+    def test_sweep_json_unchanged_by_plain_rerun(self, tmp_path, capsys):
+        """Without --trace/--metrics, sweep JSON has no telemetry key and is
+        byte-identical across cold and warm runs (CI cmp guarantee)."""
+        import json
+
+        from repro.experiments.runner import clear_sweep_cache
+
+        argv = ["sweep", "--requests", "800", "--schemes", "Ideal",
+                "--workloads", "gcc", "--no-cache", "--output"]
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(argv + [str(first)]) == 0
+        clear_sweep_cache()
+        assert main(argv + [str(second), "-v"]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "telemetry" not in json.loads(first.read_text())
+
+
+class TestObservabilityFlags:
+    def test_simulate_accepts_readduo_prefixed_scheme(self, capsys):
+        code = main(
+            ["simulate", "--workload", "gcc", "--scheme", "readduo-hybrid",
+             "--requests", "400"]
+        )
+        assert code == 0
+        assert "scheme=Hybrid" in capsys.readouterr().out
+
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--workload", "mcf", "--scheme", "Hybrid",
+             "--requests", "1500", "--trace", str(trace),
+             "--metrics", str(metrics)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace {trace}" in captured.err
+        assert f"wrote metrics {metrics}" in captured.err
+        assert "read latency percentiles" in captured.out
+
+        chrome = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in chrome["traceEvents"]}
+        assert {"read", "scrub"} <= cats
+
+        dump = json.loads(metrics.read_text())
+        assert dump["counters"]["sim.reads"] > 0
+        hist = dump["histograms"]["sim.read_latency_ns"]
+        assert sum(hist["counts"]) == dump["counters"]["sim.reads"]
+
+    def test_simulate_jsonl_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["simulate", "--workload", "gcc", "--scheme", "Ideal",
+             "--requests", "400", "--trace", str(trace)]
+        )
+        assert code == 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "read" in kinds
+
+    def test_sweep_telemetry_block(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--output", str(out), "--requests", "800",
+             "--schemes", "Ideal", "Hybrid", "--workloads", "gcc",
+             "--no-cache", "--metrics", str(tmp_path / "m.json")]
+        )
+        assert code == 0
+        tele = json.loads(out.read_text())["telemetry"]
+        assert tele["wall_time_s"] >= 0
+        assert tele["cache"] is None  # --no-cache: no counters to report
+        assert tele["batches"] and tele["batches"][0]["workload"] == "gcc"
+        dump = json.loads((tmp_path / "m.json").read_text())
+        assert dump["counters"]["sweep.runs_simulated"] == 2
+
+    def test_verbose_flag_parses_and_stacks(self):
+        args = build_parser().parse_args(
+            ["simulate", "--workload", "gcc", "--scheme", "Ideal", "-vv"]
+        )
+        assert args.verbose == 2
+        args = build_parser().parse_args(
+            ["sweep", "--log-level", "debug", "--trace", "t.json"]
+        )
+        assert args.log_level == "debug" and args.trace == "t.json"

@@ -146,6 +146,62 @@ class TestRoundTrip:
         assert payload["runs"]["gcc"]["Hybrid"]["reads"] > 0
 
 
+class TestCacheCounters:
+    """Hit/miss/stale accounting, counted in runs (workload x scheme)."""
+
+    N_RUNS = len(SMALL.schemes) * len(SMALL.workloads)
+
+    def test_cold_sweep_reports_all_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        assert cache.counters.as_dict() == {
+            "hits": 0, "misses": self.N_RUNS, "stale": 0, "stores": 1,
+        }
+
+    def test_warm_rerun_reports_all_hits(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        clear_sweep_cache()
+        fresh = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=fresh)
+        assert fresh.counters.hits == self.N_RUNS
+        assert fresh.counters.misses == 0
+        assert fresh.counters.stores == 0
+
+    def test_config_change_reports_misses_again(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        clear_sweep_cache()
+        changed = SweepSettings(
+            schemes=SMALL.schemes,
+            workloads=SMALL.workloads,
+            target_requests=SMALL.target_requests,
+            config=dataclasses.replace(MemoryConfig(), num_banks=8),
+        )
+        fresh = SweepCache(tmp_path)
+        run_sweep(changed, jobs=1, cache=fresh)
+        assert fresh.counters.hits == 0
+        assert fresh.counters.misses == self.N_RUNS
+
+    def test_corrupt_file_counts_as_stale_and_missed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        clear_sweep_cache()
+        cache.path_for(SMALL).write_text("{not json")
+        fresh = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=fresh)
+        assert fresh.counters.stale == 1
+        assert fresh.counters.misses == self.N_RUNS
+        assert fresh.counters.hits == 0
+
+    def test_memo_hit_bypasses_persistent_counters(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        before = cache.counters.as_dict()
+        run_sweep(SMALL, jobs=1, cache=cache)  # served from in-process memo
+        assert cache.counters.as_dict() == before
+
+
 class TestParallelSerialCacheEquivalence:
     def test_parallel_write_serial_read_identical(self, tmp_path):
         parallel = run_sweep(SMALL, jobs=2, cache=SweepCache(tmp_path))
