@@ -62,8 +62,21 @@ from .traces.spec import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # Lazy re-exports: the experiments package (figure/table drivers) is
+    # heavy, so ``import repro`` must not pull it in eagerly.
+    if name in ("SimSpec", "SpecError"):
+        from .experiments import spec
+
+        return getattr(spec, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "__version__",
+    "SimSpec",
+    "SpecError",
     "ReadDuoController",
     "ReadMechanism",
     "ReadOutcome",

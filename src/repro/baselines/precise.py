@@ -19,7 +19,8 @@ The write-latency cost of the extra P&V iterations is a platform knob
 
 from __future__ import annotations
 
-from ..core.schemes import PolicyContext, ScrubbingPolicy
+from ..core.policies.base import PolicyContext
+from ..core.policies.scrubbing import ScrubbingPolicy
 from ..pcm.params import R_METRIC
 from ..reliability.ler import max_safe_interval
 

@@ -8,7 +8,11 @@ Subcommands:
 * ``simulate --workload W --scheme S`` — one simulation run with a full
   statistics dump.
 * ``sweep --output FILE`` — run the scheme x workload grid and export
-  every run's statistics as JSON for downstream analysis.
+  every run's statistics as JSON for downstream analysis. The grid is
+  either described by flags (``--schemes/--workloads/--requests/--seed``)
+  or loaded whole from a JSON/TOML file with ``--spec experiment.toml``
+  (see :class:`repro.experiments.spec.SimSpec`); both forms produce
+  byte-identical output for equivalent content.
 
 Simulation-sweep commands accept ``--jobs N`` (process-parallel grid) and
 ``--no-cache`` (skip the persistent sweep cache under
@@ -31,13 +35,14 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from .core.schemes import (
-    SCHEME_NAMES,
-    PolicyContext,
+from .core.registry import (
     canonical_scheme_name,
     is_scheme_name,
     make_policy,
+    scheme_names,
+    unknown_scheme_message,
 )
+from .core.schemes import PolicyContext
 from .experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
 from .memsim.config import MemoryConfig
 from .memsim.engine import simulate
@@ -55,7 +60,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     for name in EXPERIMENTS:
         marker = " [simulation sweep]" if name in SWEEP_EXPERIMENTS else ""
         print(f"  {name}{marker}")
-    print("\nSchemes:", ", ".join(SCHEME_NAMES))
+    # Live registry query so plugin-registered schemes appear too.
+    print("\nSchemes:", ", ".join(scheme_names()))
     print("Workloads:", ", ".join(workload_names()))
     return 0
 
@@ -68,12 +74,7 @@ def _reject_unknown_schemes(schemes: Sequence[str]) -> int:
     """
     unknown = [name for name in schemes if not is_scheme_name(name)]
     if unknown:
-        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
-        print(
-            f"known: {', '.join(SCHEME_NAMES)} "
-            "(plus LWT-<k>[-noconv] and Select-<k>:<s>)",
-            file=sys.stderr,
-        )
+        print(unknown_scheme_message(unknown), file=sys.stderr)
         return 2
     return 0
 
@@ -193,22 +194,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments.cache import SweepCache
-    from .experiments.runner import ALL_SCHEMES, SweepSettings, run_sweep
+    from .experiments.runner import run_sweep
+    from .experiments.spec import ALL_SCHEMES, SimSpec, SpecError
 
-    schemes = (
-        tuple(canonical_scheme_name(s) for s in args.schemes)
-        if args.schemes
-        else ALL_SCHEMES
-    )
-    code = _reject_unknown_schemes(schemes)
-    if code:
-        return code
-    settings = SweepSettings(
-        schemes=schemes,
-        workloads=tuple(args.workloads) if args.workloads else (),
-        target_requests=args.requests,
-        seed=args.seed,
-    )
+    if args.spec is not None:
+        # A spec file is the whole experiment definition; mixing it with
+        # per-field flags would create two sources of truth.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--schemes", args.schemes),
+                ("--workloads", args.workloads),
+                ("--requests", args.requests),
+                ("--seed", args.seed),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                f"--spec conflicts with {', '.join(conflicting)}; "
+                "put those values in the spec file instead",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            settings = SimSpec.from_file(args.spec)
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        try:
+            settings = SimSpec(
+                schemes=tuple(args.schemes) if args.schemes else ALL_SCHEMES,
+                workloads=tuple(args.workloads) if args.workloads else (),
+                target_requests=(
+                    args.requests if args.requests is not None else 30_000
+                ),
+                seed=args.seed if args.seed is not None else 42,
+            )
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     tele = _build_telemetry(args)
     # An explicit SweepCache instance so its hit/miss counters are ours
     # to report (run_sweep would otherwise build an anonymous one).
@@ -308,8 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--output", default="-",
                          help="output path ('-' prints to stdout)")
-    p_sweep.add_argument("--requests", type=int, default=30_000)
-    p_sweep.add_argument("--seed", type=int, default=42)
+    p_sweep.add_argument("--spec", metavar="FILE", default=None,
+                         help="load the whole experiment spec from a JSON or "
+                              "TOML file (conflicts with --schemes/--workloads/"
+                              "--requests/--seed)")
+    p_sweep.add_argument("--requests", type=int, default=None,
+                         help="target total memory requests (default: 30000)")
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="trace/policy seed (default: 42)")
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workloads", nargs="*", default=None)
     _add_sweep_execution_flags(p_sweep)

@@ -1,6 +1,10 @@
 """ReadDuo core: hybrid readout, last-write tracking, selective rewrite.
 
-* :mod:`repro.core.schemes` — all scheme policies and the registry.
+* :mod:`repro.core.registry` — the scheme registry (names, aliases,
+  parameterized families, factories); schemes self-register here.
+* :mod:`repro.core.policies` — the scheme policy implementations, one
+  module per family.
+* :mod:`repro.core.schemes` — compatibility facade over the two above.
 * :mod:`repro.core.lwt` — the Figure 5 flag automaton and the quantized
   tracker.
 * :mod:`repro.core.conversion` — the adaptive R-M-read conversion
@@ -16,6 +20,7 @@ from .conversion import AdaptiveConversionController
 from .lwt import LwtLineFlags, QuantizedTracker, lwt_flag_bits
 from .readout import ReadDuoController, ReadMechanism, ReadOutcome
 from .sampler import DriftErrorSampler
+from .registry import register_scheme, scheme_names
 from .schemes import (
     CORRECTABLE_ERRORS,
     DETECTABLE_ERRORS,
@@ -33,6 +38,8 @@ from .schemes import (
 )
 
 __all__ = [
+    "register_scheme",
+    "scheme_names",
     "InitialAgeModel",
     "AdaptiveConversionController",
     "LwtLineFlags",

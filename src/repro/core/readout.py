@@ -26,7 +26,7 @@ import numpy as np
 
 from ..ecc.bch import BCHCode, bch8_for_line
 from ..pcm.array import CellArray
-from ..pcm.data import bytes_to_symbols, levels_to_symbols, symbols_to_bytes
+from ..pcm.data import levels_to_symbols
 from ..pcm.params import M_METRIC, MetricParams, R_METRIC
 from .lwt import LwtLineFlags
 

@@ -1,46 +1,50 @@
-"""Drift-mitigation scheme policies (paper Section IV's compared designs).
+"""Compatibility facade over the scheme registry and policy package.
 
-Each class implements :class:`repro.memsim.policy.SchemePolicy` for one of
-the designs the paper evaluates:
+The scheme implementations live in :mod:`repro.core.policies` (one
+module per family) and register themselves with
+:mod:`repro.core.registry`; the TLC baseline registers from
+:mod:`repro.baselines.tlc`. This module keeps the historical import
+surface working — ``from repro.core.schemes import make_policy,
+SCHEME_NAMES`` — as thin wrappers over the registry.
 
-* :class:`IdealPolicy` — no resistance drift; fast R-reads, no scrubbing.
-* :class:`ScrubbingPolicy` — efficient scrubbing [2] with R-sensing,
-  (BCH=8, S=8 s, W=1) by default (W=0 available, as the paper notes W=1
-  strictly misses the DRAM target).
-* :class:`MMetricPolicy` — M-sensing only, (BCH=8, S=640 s, W=1).
-* :class:`HybridPolicy` — ReadDuo-Hybrid: R-sensing with BCH-8
-  detect/correct decoupling, M-sensing fallback for 9..17 errors,
-  (BCH=8, S=640 s, W=0) M-metric scrubbing.
-* :class:`LwtPolicy` — ReadDuo-LWT-k: last-write tracking relaxes
-  scrubbing to W=1; untracked reads use R-M-read and may be converted to
-  rewrites under the adaptive throttle.
-* :class:`SelectPolicy` — ReadDuo-Select-(k:s): at most one full-line
-  write per ``s`` sub-intervals, other writes differential.
-
-Policies sample drift-error counts from the analytic model
-(:class:`~repro.core.sampler.DriftErrorSampler`) at each access's line
-age; ages before the simulation start come from the workload's
-steady-state :class:`~repro.core.agemodel.InitialAgeModel`.
+New code should import from :mod:`repro.core.registry` (name
+resolution) and :mod:`repro.core.policies` (policy classes) directly;
+new schemes should register themselves via
+:func:`repro.core.registry.register_scheme` instead of being added
+here.
 """
 
 from __future__ import annotations
 
-import math
-import re
-from dataclasses import dataclass, field
-from typing import Dict, Optional
-
-import numpy as np
-
-from ..memsim.config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
-from ..memsim.policy import ReadDecision, ReadMode, ScrubDecision, WriteDecision
-from ..traces.spec import WorkloadProfile
-from .agemodel import InitialAgeModel
-from .conversion import AdaptiveConversionController
-from .lwt import QuantizedTracker
-from .sampler import DriftErrorSampler
+from .policies import (  # noqa: F401  (re-exported compatibility surface)
+    CORRECTABLE_ERRORS,
+    DATA_CELLS,
+    DETECTABLE_ERRORS,
+    M_SCRUB_INTERVAL_S,
+    R_SCRUB_INTERVAL_S,
+    BaseDriftPolicy,
+    HybridPolicy,
+    IdealPolicy,
+    LwtPolicy,
+    MMetricPolicy,
+    PolicyContext,
+    ScrubbingPolicy,
+    SelectPolicy,
+    TlcPolicy,
+)
+from .registry import (  # noqa: F401  (re-exported compatibility surface)
+    canonical_scheme_name,
+    is_scheme_name,
+    make_policy,
+    scheme_names,
+)
 
 __all__ = [
+    "R_SCRUB_INTERVAL_S",
+    "M_SCRUB_INTERVAL_S",
+    "CORRECTABLE_ERRORS",
+    "DETECTABLE_ERRORS",
+    "DATA_CELLS",
     "PolicyContext",
     "BaseDriftPolicy",
     "IdealPolicy",
@@ -49,541 +53,15 @@ __all__ = [
     "HybridPolicy",
     "LwtPolicy",
     "SelectPolicy",
-    "make_policy",
-    "is_scheme_name",
-    "canonical_scheme_name",
+    "TlcPolicy",
     "SCHEME_NAMES",
+    "canonical_scheme_name",
+    "is_scheme_name",
+    "make_policy",
 ]
 
-#: Default scrub intervals chosen in the paper's Section III-A analysis.
-R_SCRUB_INTERVAL_S = 8.0
-M_SCRUB_INTERVAL_S = 640.0
-
-#: BCH-8 correction/detection split (Section III-B).
-CORRECTABLE_ERRORS = 8
-DETECTABLE_ERRORS = 17
-
-#: Data cells per 64B line.
-DATA_CELLS = 256
-
-
-@dataclass
-class PolicyContext:
-    """Everything a policy needs about the platform and workload.
-
-    Attributes:
-        profile: Workload statistical profile (initial ages, write change
-            fraction).
-        config: Memory-system configuration (line count, cell counts).
-        epoch_s: Absolute time of simulation start (matches the engine).
-        seed: Policy RNG seed (error sampling, conversion coin).
-    """
-
-    profile: WorkloadProfile
-    config: MemoryConfig = field(default_factory=lambda: DEFAULT_MEMORY_CONFIG)
-    epoch_s: float = DEFAULT_EPOCH_S
-    seed: int = 12345
-
-
-class BaseDriftPolicy:
-    """Shared state and helpers for all scheme policies."""
-
-    name = "base"
-    scrub_interval_s: Optional[float] = None
-
-    def __init__(self, ctx: PolicyContext) -> None:
-        self.ctx = ctx
-        self.rng = np.random.default_rng(ctx.seed)
-        self.sampler = DriftErrorSampler(cells_per_line=DATA_CELLS, rng=self.rng)
-        self.ages = InitialAgeModel(ctx.profile, seed=ctx.seed)
-        self.last_write_s: Dict[int, float] = {}
-        self.full_cells = ctx.config.cells_per_line_write
-
-    # ------------------------------------------------------------- age state
-
-    def last_write_of(self, line: int) -> float:
-        """Absolute time of the line's last (full) write."""
-        cached = self.last_write_s.get(line)
-        if cached is not None:
-            return cached
-        return self.ctx.epoch_s - self.ages.age_of(line)
-
-    def age_of(self, line: int, now_s: float) -> float:
-        """Seconds since the line's last write."""
-        return max(now_s - self.last_write_of(line), 0.0)
-
-    def record_write(self, line: int, now_s: float) -> None:
-        self.last_write_s[line] = now_s
-
-    def scrub_pass_age(self, line: int, now_s: float) -> float:
-        """Seconds since the scrub sweep last visited ``line``.
-
-        Mirrors the engine's pointer: the sweep starts at line
-        ``total_lines // 2`` at the epoch and wraps every scrub interval;
-        passes before the epoch are assumed (steady state).
-        """
-        interval = self.scrub_interval_s
-        if interval is None:
-            return math.inf
-        total = self.ctx.config.total_lines
-        frac = ((line - total // 2) % total) / total
-        cycles = math.floor((now_s - self.ctx.epoch_s) / interval - frac)
-        last_pass = self.ctx.epoch_s + (cycles + frac) * interval
-        if last_pass > now_s:  # numerical guard
-            last_pass -= interval
-        return now_s - last_pass
-
-    # ------------------------------------------------- default write handling
-
-    def on_write(self, line: int, now_s: float) -> WriteDecision:
-        """Demand writes are full-line by default (drift-safe rewrites)."""
-        self.record_write(line, now_s)
-        return WriteDecision(cells_written=self.full_cells, full_line=True)
-
-    def on_conversion_write(self, line: int, now_s: float) -> WriteDecision:
-        """Conversion writes are always full-line."""
-        self.record_write(line, now_s)
-        return WriteDecision(cells_written=self.full_cells, full_line=True)
-
-    def on_scrub(self, line: int, now_s: float) -> ScrubDecision:
-        raise NotImplementedError("scheme without scrubbing was asked to scrub")
-
-    # --------------------------------------------------------------- helpers
-
-    def _classify_r_read(
-        self, errors: int, flag_access: bool = False, convert: bool = False
-    ) -> ReadDecision:
-        """Map an R-sensing error count to the hybrid read outcome."""
-        if errors <= CORRECTABLE_ERRORS:
-            return ReadDecision(
-                mode=ReadMode.R, errors_seen=errors, flag_access=flag_access
-            )
-        if errors <= DETECTABLE_ERRORS:
-            return ReadDecision(
-                mode=ReadMode.RM,
-                errors_seen=errors,
-                flag_access=flag_access,
-                convert_to_write=convert,
-            )
-        return ReadDecision(
-            mode=ReadMode.R,
-            errors_seen=errors,
-            silent_corruption=True,
-            flag_access=flag_access,
-        )
-
-
-class IdealPolicy(BaseDriftPolicy):
-    """No resistance drift: every read is a fast, error-free R-read."""
-
-    name = "Ideal"
-    scrub_interval_s = None
-
-    def on_read(self, line: int, now_s: float) -> ReadDecision:
-        return ReadDecision(mode=ReadMode.R)
-
-
-class ScrubbingPolicy(BaseDriftPolicy):
-    """Efficient scrubbing [2]: R-sensing with (BCH=8, S=8 s, W).
-
-    With W=1 (default, the paper's comparison setting) a scrubbed line is
-    rewritten only when the scrub read finds one or more errors; W=0
-    rewrites every line every interval and costs 2-3x execution time.
-
-    The per-line rewrite process is a renewal process: a fresh line
-    survives scrub ``m`` with probability ``(1 - p(m*S))**cells`` (drift
-    errors are monotone, so "no error yet at age t" fully describes the
-    state). Because the short trace run sits inside this steady state,
-    each line carries a deterministic initial *survived-interval count*
-    drawn from the stationary age distribution of the renewal process,
-    and a scrub visit rewrites with the conditional first-error hazard
-    ``q(m)``. This keeps scrub-rewrite bandwidth, energy, and wear
-    consistent with the analytic model rather than with an arbitrary age
-    cap.
-    """
-
-    #: Renewal-model horizon (intervals); survival beyond it is lumped.
-    _MAX_INTERVALS = 96
-
-    def __init__(
-        self,
-        ctx: PolicyContext,
-        interval_s: float = R_SCRUB_INTERVAL_S,
-        w: int = 1,
-        r_params=None,
-    ) -> None:
-        super().__init__(ctx)
-        if w not in (0, 1):
-            raise ValueError("W must be 0 or 1")
-        if r_params is not None:
-            # Alternative device programming (e.g. precise writes) changes
-            # the drift statistics everything below is built from.
-            self.sampler = DriftErrorSampler(
-                cells_per_line=DATA_CELLS, rng=self.rng, r_params=r_params
-            )
-        self.scrub_interval_s = interval_s
-        self.w = w
-        self.name = "Scrubbing-W0" if w == 0 else "Scrubbing"
-        self._survived: Dict[int, int] = {}
-        # Survival curve: P(zero errors at age m*S) for a 256-cell line.
-        ages = interval_s * np.arange(1, self._MAX_INTERVALS + 1)
-        p_cell = np.asarray(
-            [self.sampler.cell_error_probability(a, "R") for a in ages]
-        )
-        survival = np.concatenate([[1.0], (1.0 - p_cell) ** DATA_CELLS])
-        # Hazard q(m): P(first error during interval m | survived so far).
-        self._hazard = 1.0 - survival[1:] / np.maximum(survival[:-1], 1e-300)
-        # Stationary distribution of survived intervals: pi(m) ~ survival(m).
-        weights = survival / survival.sum()
-        self._stationary_cdf = np.cumsum(weights)
-
-    def _initial_survived(self, line: int) -> int:
-        """Deterministic stationary survived-interval count for ``line``."""
-        from .agemodel import _splitmix64
-
-        u = (_splitmix64((line << 2) ^ self.ctx.seed ^ 0xA5A5) >> 11) / float(1 << 53)
-        return int(np.searchsorted(self._stationary_cdf, u))
-
-    def _survived_intervals(self, line: int) -> int:
-        cached = self._survived.get(line)
-        if cached is None:
-            cached = self._initial_survived(line)
-            self._survived[line] = cached
-        return cached
-
-    def _effective_age(self, line: int, now_s: float) -> float:
-        raw = self.age_of(line, now_s)
-        if self.w == 0:
-            return min(raw, self.scrub_pass_age(line, now_s))
-        renewal_age = (self._survived_intervals(line) + 0.5) * self.scrub_interval_s
-        return min(raw, renewal_age)
-
-    def on_read(self, line: int, now_s: float) -> ReadDecision:
-        errors = self.sampler.sample_errors(self._effective_age(line, now_s), "R")
-        if errors <= CORRECTABLE_ERRORS:
-            return ReadDecision(mode=ReadMode.R, errors_seen=errors)
-        if errors <= DETECTABLE_ERRORS:
-            # R-only sensing has no fallback: data is bad but flagged.
-            return ReadDecision(mode=ReadMode.R, errors_seen=errors, uncorrectable=True)
-        return ReadDecision(mode=ReadMode.R, errors_seen=errors, silent_corruption=True)
-
-    def on_write(self, line: int, now_s: float) -> WriteDecision:
-        self._survived[line] = 0
-        return super().on_write(line, now_s)
-
-    def on_scrub(self, line: int, now_s: float) -> ScrubDecision:
-        if self.w == 0:
-            self.record_write(line, now_s)
-            return ScrubDecision(
-                metric="R", rewrite=True, cells_written=self.full_cells
-            )
-        m = self._survived_intervals(line)
-        hazard = float(self._hazard[min(m, self._MAX_INTERVALS - 1)])
-        rewrite = bool(self.rng.random() < hazard)
-        if rewrite:
-            self._survived[line] = 0
-            self.record_write(line, now_s)
-        else:
-            self._survived[line] = m + 1
-        return ScrubDecision(
-            metric="R",
-            rewrite=rewrite,
-            cells_written=self.full_cells if rewrite else 0,
-            errors_seen=1 if rewrite else 0,
-        )
-
-
-class MMetricPolicy(BaseDriftPolicy):
-    """M-sensing only [23]: every read pays 450 ns, scrubbing is rare."""
-
-    name = "M-metric"
-
-    def __init__(
-        self,
-        ctx: PolicyContext,
-        interval_s: float = M_SCRUB_INTERVAL_S,
-        w: int = 1,
-    ) -> None:
-        super().__init__(ctx)
-        self.scrub_interval_s = interval_s
-        self.w = w
-
-    def on_read(self, line: int, now_s: float) -> ReadDecision:
-        errors = self.sampler.sample_errors(self.age_of(line, now_s), "M")
-        return ReadDecision(
-            mode=ReadMode.M,
-            errors_seen=errors,
-            uncorrectable=errors > CORRECTABLE_ERRORS,
-        )
-
-    def on_scrub(self, line: int, now_s: float) -> ScrubDecision:
-        errors = self.sampler.sample_errors(self.age_of(line, now_s), "M")
-        rewrite = errors >= max(self.w, 1)
-        if rewrite:
-            self.record_write(line, now_s)
-        return ScrubDecision(
-            metric="M",
-            rewrite=rewrite,
-            cells_written=self.full_cells if rewrite else 0,
-            errors_seen=errors,
-        )
-
-
-class HybridPolicy(BaseDriftPolicy):
-    """ReadDuo-Hybrid (Section III-B): decoupled detect/correct R-reads.
-
-    Reads R-sense first; 0-8 errors are corrected in place, 9-17 trigger
-    an M-sensing retry (R-M-read), >17 silently corrupt (kept below the
-    DRAM budget by the W=0 scrub bound on line age). Scrubbing is
-    M-metric, (BCH=8, S=640 s, W=0): every line is rewritten at scrub
-    time, so R-sensing always sees a line younger than one interval.
-    """
-
-    name = "Hybrid"
-
-    def __init__(
-        self, ctx: PolicyContext, interval_s: float = M_SCRUB_INTERVAL_S
-    ) -> None:
-        super().__init__(ctx)
-        self.scrub_interval_s = interval_s
-
-    def _effective_age(self, line: int, now_s: float) -> float:
-        return min(self.age_of(line, now_s), self.scrub_pass_age(line, now_s))
-
-    def on_read(self, line: int, now_s: float) -> ReadDecision:
-        errors = self.sampler.sample_errors(self._effective_age(line, now_s), "R")
-        return self._classify_r_read(errors)
-
-    def on_scrub(self, line: int, now_s: float) -> ScrubDecision:
-        self.record_write(line, now_s)
-        return ScrubDecision(metric="M", rewrite=True, cells_written=self.full_cells)
-
-
-class LwtPolicy(BaseDriftPolicy):
-    """ReadDuo-LWT-k (Section III-C): last-write tracking + conversion.
-
-    Per-line SLC flags answer, at sub-interval granularity, whether the
-    line was written within the last scrub interval. Tracked reads may
-    R-sense (falling back to R-M-read on 9-17 errors); untracked reads go
-    straight to R-M-read and may be *converted* into a rewrite under the
-    adaptive ``T`` throttle so subsequent reads are fast. Scrubbing is
-    (BCH=8, S=640 s, W=1): rewrite only on detected errors.
-    """
-
-    def __init__(
-        self,
-        ctx: PolicyContext,
-        k: int = 4,
-        interval_s: float = M_SCRUB_INTERVAL_S,
-        conversion_enabled: bool = True,
-        conversion_initial_t: int = 30,
-    ) -> None:
-        super().__init__(ctx)
-        self.k = k
-        self.scrub_interval_s = interval_s
-        self.tracker = QuantizedTracker(k, interval_s)
-        self.conversion = AdaptiveConversionController(
-            rng=self.rng,
-            initial_t=conversion_initial_t,
-            enabled=conversion_enabled,
-        )
-        suffix = "" if conversion_enabled else "-noconv"
-        self.name = f"LWT-{k}{suffix}"
-
-    # The tracked event is the last drift-resetting write of the line: a
-    # demand write, a conversion write, or a scrub rewrite.
-
-    def _tracked_last(self, line: int) -> float:
-        return self.tracker.last_event_s(line, self.last_write_of(line))
-
-    def on_read(self, line: int, now_s: float) -> ReadDecision:
-        last = self._tracked_last(line)
-        tracked = (
-            self.tracker.abs_sub_interval(now_s) - self.tracker.abs_sub_interval(last)
-            < self.k
-        )
-        self.conversion.record_read(untracked=not tracked)
-        if tracked:
-            errors = self.sampler.sample_errors(max(now_s - last, 0.0), "R")
-            return self._classify_r_read(errors, flag_access=True)
-        # Untracked: the flag check terminates R-sensing, M-sensing follows.
-        errors = self.sampler.sample_errors(max(now_s - last, 0.0), "M")
-        return ReadDecision(
-            mode=ReadMode.RM,
-            errors_seen=errors,
-            flag_access=True,
-            convert_to_write=self.conversion.should_convert(),
-            uncorrectable=errors > CORRECTABLE_ERRORS,
-        )
-
-    def on_write(self, line: int, now_s: float) -> WriteDecision:
-        self.record_write(line, now_s)
-        self.tracker.record_event(line, now_s)
-        return WriteDecision(
-            cells_written=self.full_cells, full_line=True, flag_update=True
-        )
-
-    def on_conversion_write(self, line: int, now_s: float) -> WriteDecision:
-        self.record_write(line, now_s)
-        self.tracker.record_event(line, now_s)
-        return WriteDecision(
-            cells_written=self.full_cells, full_line=True, flag_update=True
-        )
-
-    def on_scrub(self, line: int, now_s: float) -> ScrubDecision:
-        errors = self.sampler.sample_errors(self.age_of(line, now_s), "M")
-        rewrite = errors >= 1
-        if rewrite:
-            self.record_write(line, now_s)
-            self.tracker.record_event(line, now_s)
-        return ScrubDecision(
-            metric="M",
-            rewrite=rewrite,
-            cells_written=self.full_cells if rewrite else 0,
-            errors_seen=errors,
-        )
-
-
-class SelectPolicy(LwtPolicy):
-    """ReadDuo-Select-(k:s) (Section III-D): selective differential write.
-
-    At most one *full-line* write lands in any ``s`` consecutive
-    sub-intervals; other demand writes reprogram only the modified cells
-    (plus the BCH check cells). Differential writes do not update the
-    tracking flags, so read-side R-sensing decisions conservatively
-    measure the distance to the last full-line write.
-    """
-
-    def __init__(
-        self,
-        ctx: PolicyContext,
-        k: int = 4,
-        s: int = 2,
-        interval_s: float = M_SCRUB_INTERVAL_S,
-        conversion_enabled: bool = True,
-    ) -> None:
-        super().__init__(
-            ctx, k=k, interval_s=interval_s, conversion_enabled=conversion_enabled
-        )
-        if s < 1:
-            raise ValueError("s must be >= 1")
-        self.s = s
-        self.name = f"Select-{k}:{s}"
-        self._check_cells = max(self.full_cells - DATA_CELLS, 0)
-
-    def on_write(self, line: int, now_s: float) -> WriteDecision:
-        last_full = self._tracked_last(line)
-        dist = self.tracker.abs_sub_interval(now_s) - self.tracker.abs_sub_interval(
-            last_full
-        )
-        if dist < self.s:
-            # Differential write: modified data cells + check cells; the
-            # tracking flags (last full write) are left untouched.
-            changed = int(
-                self.rng.binomial(DATA_CELLS, self.ctx.profile.write_change_fraction)
-            )
-            return WriteDecision(
-                cells_written=changed + self._check_cells,
-                full_line=False,
-                flag_update=False,
-            )
-        self.record_write(line, now_s)
-        self.tracker.record_event(line, now_s)
-        return WriteDecision(
-            cells_written=self.full_cells, full_line=True, flag_update=True
-        )
-
-
-# --------------------------------------------------------------------- names
-
-SCHEME_NAMES = (
-    "Ideal",
-    "Scrubbing",
-    "Scrubbing-W0",
-    "M-metric",
-    "Hybrid",
-    "LWT-2",
-    "LWT-4",
-    "LWT-4-noconv",
-    "Select-4:1",
-    "Select-4:2",
-    "TLC",
-)
-
-_LWT_RE = re.compile(r"^LWT-(\d+)(-noconv)?$")
-_SELECT_RE = re.compile(r"^Select-(\d+):(\d+)$")
-
-_LWT_ALIAS_RE = re.compile(r"^lwt-(\d+)(-noconv)?$")
-_SELECT_ALIAS_RE = re.compile(r"^select-(\d+):(\d+)$")
-
-
-def canonical_scheme_name(name: str) -> str:
-    """Resolve CLI-friendly aliases onto canonical scheme names.
-
-    Accepts any canonical name unchanged, plus case-insensitive variants
-    with an optional ``readduo-`` prefix: ``readduo-hybrid`` -> ``Hybrid``,
-    ``lwt-4`` -> ``LWT-4``, ``readduo-select-4:2`` -> ``Select-4:2``.
-    Unknown names are returned unchanged so validation can report them.
-    """
-    if is_scheme_name(name):
-        return name
-    lowered = name.lower()
-    if lowered.startswith("readduo-"):
-        lowered = lowered[len("readduo-"):]
-    for canonical in SCHEME_NAMES:
-        if canonical.lower() == lowered:
-            return canonical
-    match = _LWT_ALIAS_RE.match(lowered)
-    if match:
-        return f"LWT-{match.group(1)}" + ("-noconv" if match.group(2) else "")
-    match = _SELECT_ALIAS_RE.match(lowered)
-    if match:
-        return f"Select-{match.group(1)}:{match.group(2)}"
-    return name
-
-
-def is_scheme_name(name: str) -> bool:
-    """True when :func:`make_policy` would accept ``name``.
-
-    Covers the fixed :data:`SCHEME_NAMES` plus the parameterized
-    ``LWT-<k>[-noconv]`` and ``Select-<k>:<s>`` families, without
-    constructing a policy (the CLI validates names before spending time
-    on trace generation).
-    """
-    return (
-        name in SCHEME_NAMES
-        or _LWT_RE.match(name) is not None
-        or _SELECT_RE.match(name) is not None
-    )
-
-
-def make_policy(name: str, ctx: PolicyContext):
-    """Instantiate a scheme policy by its canonical name.
-
-    Recognized names: ``Ideal``, ``Scrubbing``, ``Scrubbing-W0``,
-    ``M-metric``, ``Hybrid``, ``LWT-<k>``, ``LWT-<k>-noconv``,
-    ``Select-<k>:<s>``, ``TLC``.
-    """
-    if name == "Ideal":
-        return IdealPolicy(ctx)
-    if name == "Scrubbing":
-        return ScrubbingPolicy(ctx, w=1)
-    if name == "Scrubbing-W0":
-        return ScrubbingPolicy(ctx, w=0)
-    if name == "M-metric":
-        return MMetricPolicy(ctx)
-    if name == "Hybrid":
-        return HybridPolicy(ctx)
-    if name == "TLC":
-        from ..baselines.tlc import TlcPolicy
-
-        return TlcPolicy(ctx)
-    match = _LWT_RE.match(name)
-    if match:
-        return LwtPolicy(
-            ctx, k=int(match.group(1)), conversion_enabled=match.group(2) is None
-        )
-    match = _SELECT_RE.match(name)
-    if match:
-        return SelectPolicy(ctx, k=int(match.group(1)), s=int(match.group(2)))
-    raise ValueError(f"unknown scheme {name!r}; known: {', '.join(SCHEME_NAMES)}")
+#: Built-in scheme names, in registry order. A snapshot taken at import
+#: time for backwards compatibility; prefer the live
+#: :func:`repro.core.registry.scheme_names` when plugins may register
+#: schemes later.
+SCHEME_NAMES = scheme_names()

@@ -24,6 +24,7 @@ from .extras import (
 )
 from .report import ExperimentResult, geometric_mean
 from .runner import ALL_SCHEMES, SweepSettings, clear_sweep_cache, run_sweep
+from .spec import SimSpec, SpecError
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-scrub-contention": ablation_scrub_contention,
@@ -77,6 +78,8 @@ __all__ = [
     "ExperimentResult",
     "geometric_mean",
     "ALL_SCHEMES",
+    "SimSpec",
+    "SpecError",
     "SweepSettings",
     "run_sweep",
     "clear_sweep_cache",

@@ -26,9 +26,9 @@ from typing import Optional, Sequence
 from ..core.schemes import LwtPolicy, PolicyContext, make_policy
 from ..memsim.config import MemoryConfig
 from ..memsim.engine import simulate
-from ..traces.generator import generate_trace
-from ..traces.spec import instructions_for_requests, workload
+from ..traces.spec import workload
 from .report import ExperimentResult, geometric_mean
+from .spec import SimSpec
 
 __all__ = [
     "ablation_scrub_contention",
@@ -40,14 +40,26 @@ __all__ = [
 _DEFAULT_WORKLOADS = ("mcf", "lbm", "gcc")
 
 
-def _trace_for(profile, target_requests: int, config: MemoryConfig, seed: int):
-    return generate_trace(
-        profile,
-        instructions_per_core=instructions_for_requests(
-            profile, target_requests, config.num_cores
-        ),
-        num_cores=config.num_cores,
+def _spec_for(
+    workloads: Sequence[str],
+    target_requests: int,
+    config: MemoryConfig,
+    seed: int,
+    schemes: Sequence[str] = ("Ideal",),
+) -> SimSpec:
+    """One validated spec per ablation design point (trace generation).
+
+    Policies are still constructed with each ablation's historical
+    :class:`PolicyContext` quirks (some baselines deliberately use the
+    default policy seed), so spec construction here covers validation and
+    trace identity only.
+    """
+    return SimSpec(
+        schemes=tuple(schemes),
+        workloads=tuple(workloads),
+        target_requests=target_requests,
         seed=seed,
+        config=config,
     )
 
 
@@ -64,7 +76,10 @@ def ablation_scrub_contention(
         row = [name]
         for blocks in (True, False):
             config = MemoryConfig(scrub_blocks_channel=blocks)
-            trace = _trace_for(profile, target_requests, config, seed)
+            spec = _spec_for(
+                workloads, target_requests, config, seed, schemes=("Ideal", scheme)
+            )
+            trace = spec.trace_for(name)
             ideal = simulate(
                 trace,
                 make_policy("Ideal", PolicyContext(profile=profile, config=config)),
@@ -111,7 +126,10 @@ def ablation_write_cancellation(
         cancelled = 0
         for threshold in (0.5, 0.0):
             config = MemoryConfig(cancel_threshold=threshold)
-            trace = _trace_for(profile, target_requests, config, seed)
+            spec = _spec_for(
+                workloads, target_requests, config, seed, schemes=(scheme,)
+            )
+            trace = spec.trace_for(name)
             stats = simulate(
                 trace,
                 make_policy(scheme, PolicyContext(profile=profile, config=config)),
@@ -144,7 +162,10 @@ def ablation_conversion_throttle(
     """Adaptive T vs fixed extremes on a cold-read workload."""
     profile = workload(workload_name)
     config = MemoryConfig()
-    trace = _trace_for(profile, target_requests, config, seed)
+    spec = _spec_for(
+        (workload_name,), target_requests, config, seed, schemes=("Ideal", "LWT-4")
+    )
+    trace = spec.trace_for(workload_name)
     ideal = simulate(
         trace,
         make_policy("Ideal", PolicyContext(profile=profile, config=config)),
@@ -207,10 +228,13 @@ def ablation_write_truncation(
     from ..core.truncation import WriteTruncationWrapper
 
     config = MemoryConfig()
+    spec = _spec_for(
+        workloads, target_requests, config, seed, schemes=("Ideal", scheme)
+    )
     rows = []
     for name in workloads:
         profile = workload(name)
-        trace = _trace_for(profile, target_requests, config, seed)
+        trace = spec.trace_for(name)
         ideal = simulate(
             trace,
             make_policy("Ideal", PolicyContext(profile=profile, config=config)),

@@ -17,8 +17,6 @@ emits shortest-roundtrip float reprs).
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -30,7 +28,7 @@ from ..memsim.stats import RunStats
 from ..obs import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
-    from .runner import SweepSettings
+    from .spec import SimSpec as SweepSettings
 
 __all__ = ["CacheCounters", "SweepCache", "default_cache_dir", "settings_key"]
 
@@ -39,7 +37,9 @@ _log = get_logger("experiments.cache")
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "READDUO_SWEEP_CACHE"
 
-#: Bumped when the on-disk layout changes incompatibly.
+#: Bumped when the on-disk *payload* layout changes incompatibly. The
+#: cache *key* schema is versioned separately by
+#: :data:`repro.experiments.spec.SPEC_HASH_FORMAT`.
 _FORMAT = 1
 
 
@@ -54,22 +54,12 @@ def default_cache_dir() -> Path:
 def settings_key(settings: "SweepSettings") -> str:
     """Content hash identifying a sweep's full configuration.
 
-    The hash covers schemes, *effective* workloads (an explicit list and
-    the all-workloads default that expands to it hash identically),
-    target_requests, seed, every nested ``MemoryConfig`` field, and the
-    package version.
+    Delegates to :meth:`~repro.experiments.spec.SimSpec.content_hash`,
+    the single definition of sweep identity: canonical schemes,
+    *effective* workloads, target_requests, seed, epoch, every nested
+    ``MemoryConfig`` field, and the package version.
     """
-    identity = {
-        "format": _FORMAT,
-        "version": __version__,
-        "schemes": list(settings.schemes),
-        "workloads": list(settings.effective_workloads()),
-        "target_requests": settings.target_requests,
-        "seed": settings.seed,
-        "config": dataclasses.asdict(settings.config),
-    }
-    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return settings.content_hash()
 
 
 @dataclass

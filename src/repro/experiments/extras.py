@@ -20,7 +20,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -28,9 +28,9 @@ from ..core.schemes import PolicyContext, make_policy
 from ..ecc.bch import DecodeStatus, bch8_for_line
 from ..memsim.config import MemoryConfig
 from ..memsim.engine import simulate
-from ..traces.generator import generate_trace
-from ..traces.spec import instructions_for_requests, workload
+from ..traces.spec import workload
 from .report import ExperimentResult
+from .spec import SimSpec
 
 __all__ = [
     "bch_detection_study",
@@ -110,14 +110,14 @@ def scrub_interval_sensitivity(
     """
     profile = workload(workload_name)
     config = MemoryConfig()
-    trace = generate_trace(
-        profile,
-        instructions_per_core=instructions_for_requests(
-            profile, target_requests, config.num_cores
-        ),
-        num_cores=config.num_cores,
+    spec = SimSpec(
+        schemes=("Ideal", "LWT-4"),
+        workloads=(workload_name,),
+        target_requests=target_requests,
         seed=seed,
+        config=config,
     )
+    trace = spec.trace_for(workload_name)
     ideal = simulate(
         trace,
         make_policy("Ideal", PolicyContext(profile=profile, config=config)),
@@ -187,14 +187,14 @@ def precise_write_comparison(
         )),
         ("LWT-4", MemoryConfig()),
     ):
-        trace = generate_trace(
-            profile,
-            instructions_per_core=instructions_for_requests(
-                profile, target_requests, scheme_config.num_cores
-            ),
-            num_cores=scheme_config.num_cores,
+        variant_spec = SimSpec(
+            schemes=("Ideal",),
+            workloads=(workload_name,),
+            target_requests=target_requests,
             seed=seed,
+            config=scheme_config,
         )
+        trace = variant_spec.trace_for(workload_name)
         ideal = simulate(
             trace,
             make_policy(

@@ -6,7 +6,8 @@ from typing import Callable, List, Optional, Sequence
 
 from ...memsim.stats import RunStats
 from ..report import ExperimentResult, geometric_mean
-from ..runner import SweepSettings, run_sweep
+from ..runner import run_sweep
+from ..spec import SimSpec
 
 __all__ = ["sweep_settings", "normalized_figure"]
 
@@ -15,12 +16,12 @@ def sweep_settings(
     target_requests: Optional[int] = None,
     workloads: Sequence[str] = (),
     seed: int = 42,
-) -> SweepSettings:
-    """Settings shared by all sweep figures (one sweep feeds them all)."""
+) -> SimSpec:
+    """The spec shared by all sweep figures (one sweep feeds them all)."""
     kwargs = {"workloads": tuple(workloads), "seed": seed}
     if target_requests is not None:
         kwargs["target_requests"] = target_requests
-    return SweepSettings(**kwargs)
+    return SimSpec(**kwargs)
 
 
 def normalized_figure(
@@ -29,7 +30,7 @@ def normalized_figure(
     schemes: Sequence[str],
     metric: Callable[[RunStats], float],
     baseline: str = "Ideal",
-    settings: Optional[SweepSettings] = None,
+    settings: Optional[SimSpec] = None,
     notes: str = "",
     lower_is_better: bool = True,
 ) -> ExperimentResult:

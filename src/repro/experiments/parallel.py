@@ -21,15 +21,13 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from ..core.schemes import PolicyContext, make_policy
 from ..memsim.engine import simulate
 from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
-from ..traces.generator import generate_trace
-from ..traces.spec import instructions_for_requests, workload
+from ..traces.spec import workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
-    from .runner import SweepSettings
+    from .spec import SimSpec as SweepSettings
 
 __all__ = ["plan_batches", "simulate_batch", "run_sweep_parallel"]
 
@@ -74,24 +72,13 @@ def simulate_batch(
     share one code path and cannot diverge.
     """
     profile = workload(workload_name)
-    instructions = instructions_for_requests(
-        profile, settings.target_requests, settings.config.num_cores
-    )
-    trace = generate_trace(
-        profile,
-        instructions_per_core=instructions,
-        num_cores=settings.config.num_cores,
-        seed=settings.seed,
-    )
+    trace = settings.trace_for(workload_name)
     results: List[Tuple[str, RunStats]] = []
     for scheme in schemes:
-        policy = make_policy(
-            scheme,
-            PolicyContext(
-                profile=profile, config=settings.config, seed=settings.seed
-            ),
+        policy = settings.make_policy(scheme, profile)
+        results.append(
+            (scheme, simulate(trace, policy, settings.config, epoch_s=settings.epoch_s))
         )
-        results.append((scheme, simulate(trace, policy, settings.config)))
     return results
 
 

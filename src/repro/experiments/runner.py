@@ -17,71 +17,28 @@ benchmarks contribute comparable request counts.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from ..memsim.config import MemoryConfig
 from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
-from ..traces.spec import workload_names
 from .cache import SweepCache
 from .parallel import run_sweep_parallel, simulate_batch
+from .spec import ALL_SCHEMES, SimSpec
 
 __all__ = [
     "SweepSettings",
+    "SimSpec",
     "ALL_SCHEMES",
     "run_sweep",
     "clear_sweep_cache",
     "configure_sweep_defaults",
 ]
 
-#: Every scheme any figure needs, in presentation order.
-ALL_SCHEMES: Tuple[str, ...] = (
-    "Ideal",
-    "Scrubbing",
-    "M-metric",
-    "TLC",
-    "Hybrid",
-    "LWT-2",
-    "LWT-4",
-    "LWT-4-noconv",
-    "Select-4:1",
-    "Select-4:2",
-)
-
-
-@dataclass(frozen=True)
-class SweepSettings:
-    """Parameters identifying one scheme x workload sweep.
-
-    Attributes:
-        schemes: Scheme names to simulate.
-        workloads: Benchmark names (default: all 14).
-        target_requests: Total memory requests per trace (trace length
-            adapts to each workload's MPKI).
-        seed: Trace/policy seed; one seed keeps comparisons paired.
-        config: Memory-system configuration.
-    """
-
-    schemes: Tuple[str, ...] = ALL_SCHEMES
-    workloads: Tuple[str, ...] = ()
-    target_requests: int = 30_000
-    seed: int = 42
-    config: MemoryConfig = field(default_factory=MemoryConfig)
-
-    def effective_workloads(self) -> Tuple[str, ...]:
-        return self.workloads if self.workloads else workload_names()
-
-    def quick(self, target_requests: int = 4_000) -> "SweepSettings":
-        """A cheaper copy for tests and smoke runs."""
-        return SweepSettings(
-            schemes=self.schemes,
-            workloads=self.workloads,
-            target_requests=target_requests,
-            seed=self.seed,
-            config=self.config,
-        )
+#: Historical name for the sweep's spec type. :class:`SimSpec` is the
+#: same frozen value object flowing CLI -> runner -> workers -> cache;
+#: ``SweepSettings`` remains as a compatibility alias.
+SweepSettings = SimSpec
 
 
 _SWEEP_CACHE: Dict[SweepSettings, Dict[str, Dict[str, RunStats]]] = {}

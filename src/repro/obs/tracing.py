@@ -36,7 +36,7 @@ for the full schema.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 __all__ = ["Tracer", "NullTracer", "chrome_trace_events"]
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 __all__ = [
     "NUM_LEVELS",

@@ -298,3 +298,62 @@ class TestObservabilityFlags:
             ["sweep", "--log-level", "debug", "--trace", "t.json"]
         )
         assert args.log_level == "debug" and args.trace == "t.json"
+
+
+class TestSweepSpecFile:
+    FLAGS = ["--requests", "800", "--seed", "7",
+             "--schemes", "Ideal", "Hybrid", "--workloads", "gcc"]
+    SPEC = {"schemes": ["Ideal", "Hybrid"], "workloads": ["gcc"],
+            "target_requests": 800, "seed": 7}
+
+    def _run(self, argv, tmp_path, name):
+        from repro.experiments.runner import clear_sweep_cache
+
+        out = tmp_path / name
+        assert main(["sweep", "--output", str(out), "--no-cache"] + argv) == 0
+        clear_sweep_cache()
+        return out.read_text()
+
+    def test_json_spec_matches_flag_invocation_exactly(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "exp.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        from_flags = self._run(self.FLAGS, tmp_path, "flags.json")
+        from_spec = self._run(["--spec", str(spec_path)], tmp_path, "spec.json")
+        assert from_spec == from_flags
+
+    def test_toml_spec_matches_flag_invocation_exactly(self, tmp_path):
+        pytest.importorskip("tomllib")
+        spec_path = tmp_path / "exp.toml"
+        spec_path.write_text(
+            'schemes = ["Ideal", "readduo-hybrid"]\n'
+            'workloads = ["gcc"]\n'
+            "target_requests = 800\n"
+            "seed = 7\n"
+        )
+        from_flags = self._run(self.FLAGS, tmp_path, "flags.json")
+        from_spec = self._run(["--spec", str(spec_path)], tmp_path, "spec.json")
+        assert from_spec == from_flags
+
+    @pytest.mark.parametrize(
+        "extra", [["--seed", "9"], ["--requests", "100"],
+                  ["--schemes", "Ideal"], ["--workloads", "gcc"]]
+    )
+    def test_spec_conflicts_with_field_flags(self, tmp_path, capsys, extra):
+        spec_path = tmp_path / "exp.json"
+        spec_path.write_text("{}")
+        code = main(["sweep", "--spec", str(spec_path)] + extra)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--spec conflicts with" in err and extra[0] in err
+
+    def test_invalid_spec_file_reports_and_exits_2(self, tmp_path, capsys):
+        spec_path = tmp_path / "exp.json"
+        spec_path.write_text('{"schemes": ["Bogus"]}')
+        assert main(["sweep", "--spec", str(spec_path)]) == 2
+        assert "unknown schemes: Bogus" in capsys.readouterr().err
+
+    def test_missing_spec_file_reports_and_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err

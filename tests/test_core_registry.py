@@ -1,0 +1,163 @@
+"""Tests for the scheme registry (repro.core.registry)."""
+
+import pytest
+
+from repro.core import policies  # noqa: F401  (registers the built-ins)
+from repro.core.registry import (
+    canonical_scheme_name,
+    family_syntaxes,
+    is_scheme_name,
+    make_policy,
+    register_scheme,
+    resolve_scheme,
+    scheme_names,
+    unknown_scheme_message,
+    unregister_scheme,
+)
+from repro.core.policies import IdealPolicy, PolicyContext
+from repro.core.schemes import SCHEME_NAMES
+from repro.traces.spec import workload
+
+
+@pytest.fixture
+def ctx():
+    return PolicyContext(profile=workload("gcc"))
+
+
+class TestBuiltinRegistrations:
+    def test_scheme_names_matches_legacy_tuple(self):
+        assert scheme_names() == (
+            "Ideal", "Scrubbing", "Scrubbing-W0", "M-metric", "Hybrid",
+            "LWT-2", "LWT-4", "LWT-4-noconv", "Select-4:1", "Select-4:2",
+            "TLC",
+        )
+        assert SCHEME_NAMES == scheme_names()
+
+    def test_family_syntaxes(self):
+        assert family_syntaxes() == ("LWT-<k>[-noconv]", "Select-<k>:<s>")
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_every_listed_name_round_trips(self, name, ctx):
+        # canonical(canonical(x)) == canonical(x) == x for listed names,
+        # and make_policy produces a policy reporting that exact name.
+        assert canonical_scheme_name(name) == name
+        assert is_scheme_name(name)
+        policy = make_policy(name, ctx)
+        assert policy.name == name
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_alias_to_canonical_to_alias_is_stable(self, name):
+        for alias in (name.lower(), name.upper(), f"readduo-{name.lower()}"):
+            resolved = canonical_scheme_name(alias)
+            assert resolved == name
+            # A second pass is a fixed point.
+            assert canonical_scheme_name(resolved) == name
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("lwt-8", "LWT-8"),
+            ("readduo-lwt-8-noconv", "LWT-8-noconv"),
+            ("select-6:3", "Select-6:3"),
+            ("readduo-select-6:3", "Select-6:3"),
+        ],
+    )
+    def test_parameterized_aliases_beyond_listed_names(self, alias, expected):
+        assert canonical_scheme_name(alias) == expected
+        assert is_scheme_name(expected)
+
+    def test_unknown_names_pass_through_unchanged(self):
+        assert canonical_scheme_name("NoSuchScheme") == "NoSuchScheme"
+        assert not is_scheme_name("NoSuchScheme")
+
+
+class TestErrors:
+    def test_unknown_scheme_error_lists_names_and_families(self, ctx):
+        with pytest.raises(ValueError) as excinfo:
+            make_policy("FancyScheme", ctx)
+        message = str(excinfo.value)
+        assert "unknown schemes: FancyScheme" in message
+        for name in scheme_names():
+            assert name in message
+        assert "LWT-<k>[-noconv]" in message
+        assert "Select-<k>:<s>" in message
+
+    def test_unknown_scheme_message_accepts_lists(self):
+        message = unknown_scheme_message(["A", "B"])
+        assert message.startswith("unknown schemes: A, B;")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme("Ideal")(IdealPolicy)
+
+    def test_register_scheme_argument_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            register_scheme()
+        with pytest.raises(ValueError, match="exactly one"):
+            register_scheme("X", pattern=r"X-\d+")
+        with pytest.raises(ValueError, match="parse= and canonical="):
+            register_scheme(pattern=r"X-\d+")
+        with pytest.raises(ValueError, match="fixed-name"):
+            register_scheme(
+                pattern=r"X-(?P<k>\d+)",
+                parse=lambda m: {"k": int(m.group("k"))},
+                canonical=lambda p: f"X-{p['k']}",
+                params={"k": 1},
+            )
+
+
+class TestPluginScheme:
+    """A new scheme is one register_scheme call in one file: no edits to
+    cli.py, runner.py, or parallel.py (the PR's acceptance criterion)."""
+
+    @pytest.fixture
+    def dummy_scheme(self):
+        @register_scheme("DummyTest")
+        class DummyTestPolicy(IdealPolicy):
+            name = "DummyTest"
+
+        yield DummyTestPolicy
+        assert unregister_scheme("DummyTest")
+
+    def test_appears_in_scheme_names(self, dummy_scheme):
+        assert "DummyTest" in scheme_names()
+
+    def test_appears_in_cli_list(self, dummy_scheme, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "DummyTest" in capsys.readouterr().out
+
+    def test_make_policy_and_aliases_work(self, dummy_scheme, ctx):
+        assert canonical_scheme_name("readduo-dummytest") == "DummyTest"
+        policy = make_policy("DummyTest", ctx)
+        assert isinstance(policy, dummy_scheme)
+
+    def test_sweeps_through_runner_without_core_edits(self, dummy_scheme,
+                                                      small_config):
+        from repro.experiments.runner import (
+            SweepSettings,
+            clear_sweep_cache,
+            run_sweep,
+        )
+
+        settings = SweepSettings(
+            schemes=("DummyTest",),
+            workloads=("gcc",),
+            target_requests=600,
+            config=small_config,
+        )
+        try:
+            grid = run_sweep(settings, jobs=1, cache=False)
+            assert grid["gcc"]["DummyTest"].scheme == "DummyTest"
+        finally:
+            clear_sweep_cache()
+
+    def test_unregister_restores_unknown(self):
+        assert not is_scheme_name("DummyTest")
+        assert not unregister_scheme("DummyTest")
+
+    def test_resolve_scheme_returns_family_and_params(self):
+        family, params = resolve_scheme("LWT-6-noconv")
+        assert params == {"k": 6, "conversion_enabled": False}
+        assert family.canonical(params) == "LWT-6-noconv"

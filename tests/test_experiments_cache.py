@@ -86,10 +86,12 @@ class TestSettingsKey:
         assert settings_key(changed) != settings_key(SMALL)
 
     def test_version_is_part_of_the_key(self, monkeypatch):
-        import repro.experiments.cache as cache_mod
+        # settings_key delegates to SimSpec.content_hash, which reads the
+        # package version through the spec module's global.
+        import repro.experiments.spec as spec_mod
 
         base = settings_key(SMALL)
-        monkeypatch.setattr(cache_mod, "__version__", "0.0.0-test")
+        monkeypatch.setattr(spec_mod, "__version__", "0.0.0-test")
         assert settings_key(SMALL) != base
 
 
