@@ -157,8 +157,16 @@ def test_engine_telemetry_overhead(results_dir):
 
 
 def test_sweep_serial_vs_parallel_vs_cached(results_dir, tmp_path):
-    """Wall-time the same grid serial, parallel, and from a warm cache."""
+    """Wall-time the same grid serial, parallel, and from a warm cache.
+
+    The parallel leg goes through the execution planner on a cold cache
+    so its ``plan.*`` stats land in the JSON — a cold plan must schedule
+    ``workloads x schemes`` independent units (the acceptance bar for the
+    work-stealing executor). On 1-CPU runners the parallel keys are
+    omitted entirely instead of recording ``null``.
+    """
     from repro.experiments.cache import SweepCache
+    from repro.experiments.planner import build_plan, execute_plan
     from repro.experiments.runner import (
         SweepSettings,
         clear_sweep_cache,
@@ -177,16 +185,6 @@ def test_sweep_serial_vs_parallel_vs_cached(results_dir, tmp_path):
 
     clear_sweep_cache()
     cached_grid, cached_s = _time(lambda: run_sweep(settings, jobs=1, cache=cache))
-
-    parallel_s = None
-    if BENCH_JOBS > 1:
-        clear_sweep_cache()
-        cache.clear()
-        parallel_grid, parallel_s = _time(
-            lambda: run_sweep(settings, jobs=BENCH_JOBS, cache=cache)
-        )
-        assert _flat(parallel_grid) == _flat(serial_grid)
-
     assert _flat(cached_grid) == _flat(serial_grid)
 
     record = {
@@ -195,13 +193,53 @@ def test_sweep_serial_vs_parallel_vs_cached(results_dir, tmp_path):
         "target_requests": settings.target_requests,
         "jobs": BENCH_JOBS,
         "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "parallel_speedup": (serial_s / parallel_s) if parallel_s else None,
         "warm_cache_s": cached_s,
         "warm_cache_speedup": serial_s / cached_s if cached_s > 0 else None,
         "cpu_count": os.cpu_count(),
     }
-    _merge_into_bench_json(results_dir, {"sweep": record})
+
+    planner_record = {}
+    if BENCH_JOBS > 1:
+        # Cold planned run on an untouched cache dir: every unit must be
+        # scheduled independently (workloads x schemes of them).
+        clear_sweep_cache()
+        cold_plan = build_plan([settings])
+        cold_results, parallel_s = _time(
+            lambda: execute_plan(
+                cold_plan,
+                jobs=BENCH_JOBS,
+                cache=SweepCache(tmp_path / "parallel-cache"),
+            )
+        )
+        assert _flat(cold_plan.grid_for(settings, cold_results)) == _flat(serial_grid)
+        n_units = len(BENCH_WORKLOADS) * len(BENCH_SCHEMES)
+        assert cold_plan.stats.units_simulated == n_units
+        record["parallel_s"] = parallel_s
+        record["parallel_speedup"] = serial_s / parallel_s
+        planner_record["cold_parallel"] = cold_plan.stats.as_dict()
+    else:
+        record["parallel_fallback"] = "serial (1 CPU)"
+
+    # Warm two-artifact plan: the full grid plus an overlapping subset
+    # must fold the subset away (dedup) and execute zero units.
+    clear_sweep_cache()
+    subset = SweepSettings(
+        schemes=BENCH_SCHEMES[:2],
+        workloads=BENCH_WORKLOADS[:1],
+        target_requests=settings.target_requests,
+    )
+    warm_plan = build_plan([settings, subset])
+    _, warm_plan_s = _time(lambda: execute_plan(warm_plan, jobs=1, cache=cache))
+    assert warm_plan.stats.units_simulated == 0
+    assert warm_plan.stats.units_deduped == len(subset.schemes) * len(
+        subset.workloads
+    )
+    planner_record["warm_two_artifact"] = warm_plan.stats.as_dict()
+    planner_record["warm_two_artifact_wall_s"] = warm_plan_s
+
+    _merge_into_bench_json(
+        results_dir, {"sweep": record, "planner": planner_record}
+    )
     # A warm cache replays JSON instead of simulating; anything less than
     # an order of magnitude points at a cache miss.
     assert cached_s < serial_s / 10

@@ -7,7 +7,7 @@ diagrams whose quantitative content is Table VII; Table VI's goal matrix
 is folded into the figure3 driver.
 """
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from . import figures, tables
 from .ablations import (
@@ -15,13 +15,17 @@ from .ablations import (
     ablation_scrub_contention,
     ablation_write_cancellation,
     ablation_write_truncation,
+    scrub_contention_specs,
+    write_cancellation_specs,
 )
 from .extras import (
     bch_detection_study,
     montecarlo_validation,
     precise_write_comparison,
     scrub_interval_sensitivity,
+    scrub_interval_specs,
 )
+from .figures._sweep import sweep_specs
 from .report import ExperimentResult, geometric_mean
 from .runner import ALL_SCHEMES, SweepSettings, clear_sweep_cache, run_sweep
 from .spec import SimSpec, SpecError
@@ -72,8 +76,22 @@ SWEEP_EXPERIMENTS = (
     "figure15",
 )
 
+#: Spec collectors: experiment id -> callable returning the SimSpecs that
+#: experiment's driver will feed to run_sweep. The CLI's planned
+#: ``readduo run`` unions these up front (plan -> dedupe -> execute) so
+#: overlapping artifacts simulate each distinct run exactly once; the
+#: drivers then consume the prewarmed per-run cache. Drivers that never
+#: call run_sweep (closed-form tables, Monte-Carlo extras) are absent.
+EXPERIMENT_SPECS: Dict[str, Callable[..., Tuple[SimSpec, ...]]] = {
+    **{experiment_id: sweep_specs for experiment_id in SWEEP_EXPERIMENTS},
+    "ablation-scrub-contention": scrub_contention_specs,
+    "ablation-write-cancellation": write_cancellation_specs,
+    "extra-scrub-interval": scrub_interval_specs,
+}
+
 __all__ = [
     "EXPERIMENTS",
+    "EXPERIMENT_SPECS",
     "SWEEP_EXPERIMENTS",
     "ExperimentResult",
     "geometric_mean",

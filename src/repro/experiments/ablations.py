@@ -28,6 +28,7 @@ from ..memsim.config import MemoryConfig
 from ..memsim.engine import simulate
 from ..traces.spec import workload
 from .report import ExperimentResult, geometric_mean
+from .runner import run_sweep
 from .spec import SimSpec
 
 __all__ = [
@@ -47,19 +48,39 @@ def _spec_for(
     seed: int,
     schemes: Sequence[str] = ("Ideal",),
 ) -> SimSpec:
-    """One validated spec per ablation design point (trace generation).
-
-    Policies are still constructed with each ablation's historical
-    :class:`PolicyContext` quirks (some baselines deliberately use the
-    default policy seed), so spec construction here covers validation and
-    trace identity only.
-    """
+    """One validated spec per ablation design point."""
     return SimSpec(
         schemes=tuple(schemes),
         workloads=tuple(workloads),
         target_requests=target_requests,
         seed=seed,
         config=config,
+    )
+
+
+def scrub_contention_specs(
+    target_requests: int = 8_000,
+    workloads: Sequence[str] = _DEFAULT_WORKLOADS,
+    scheme: str = "Scrubbing",
+    seed: int = 42,
+) -> tuple:
+    """The two design-point specs the scrub-contention ablation sweeps.
+
+    Exposed separately (and registered in ``EXPERIMENT_SPECS``) so the
+    execution planner can union these with the figure sweeps' units up
+    front; the driver itself consumes the same specs via
+    :func:`~repro.experiments.runner.run_sweep`, so a planned prewarm
+    makes it a pure cache read.
+    """
+    return tuple(
+        _spec_for(
+            workloads,
+            target_requests,
+            MemoryConfig(scrub_blocks_channel=blocks),
+            seed,
+            schemes=("Ideal", scheme),
+        )
+        for blocks in (True, False)
     )
 
 
@@ -70,26 +91,15 @@ def ablation_scrub_contention(
     seed: int = 42,
 ) -> ExperimentResult:
     """Execution-time cost of scrub traffic with/without channel blocking."""
+    specs = scrub_contention_specs(target_requests, workloads, scheme, seed)
+    canonical = specs[0].schemes[-1]
+    grids = [run_sweep(spec) for spec in specs]
     rows = []
     for name in workloads:
-        profile = workload(name)
         row = [name]
-        for blocks in (True, False):
-            config = MemoryConfig(scrub_blocks_channel=blocks)
-            spec = _spec_for(
-                workloads, target_requests, config, seed, schemes=("Ideal", scheme)
-            )
-            trace = spec.trace_for(name)
-            ideal = simulate(
-                trace,
-                make_policy("Ideal", PolicyContext(profile=profile, config=config)),
-                config,
-            )
-            stats = simulate(
-                trace,
-                make_policy(scheme, PolicyContext(profile=profile, config=config)),
-                config,
-            )
+        for grid in grids:
+            ideal = grid[name]["Ideal"]
+            stats = grid[name][canonical]
             row.append(stats.execution_time_ns / ideal.execution_time_ns)
         rows.append(row)
     rows.append(
@@ -112,6 +122,29 @@ def ablation_scrub_contention(
     )
 
 
+def write_cancellation_specs(
+    target_requests: int = 8_000,
+    workloads: Sequence[str] = _DEFAULT_WORKLOADS,
+    scheme: str = "Ideal",
+    seed: int = 42,
+) -> tuple:
+    """The two design-point specs the write-cancellation ablation sweeps.
+
+    Registered in ``EXPERIMENT_SPECS`` for the same planner-prewarm
+    reason as :func:`scrub_contention_specs`.
+    """
+    return tuple(
+        _spec_for(
+            workloads,
+            target_requests,
+            MemoryConfig(cancel_threshold=threshold),
+            seed,
+            schemes=(scheme,),
+        )
+        for threshold in (0.5, 0.0)
+    )
+
+
 def ablation_write_cancellation(
     target_requests: int = 8_000,
     workloads: Sequence[str] = _DEFAULT_WORKLOADS,
@@ -119,26 +152,16 @@ def ablation_write_cancellation(
     seed: int = 42,
 ) -> ExperimentResult:
     """Read-latency impact of write cancellation [18]."""
+    specs = write_cancellation_specs(target_requests, workloads, scheme, seed)
+    canonical = specs[0].schemes[0]
+    grids = [run_sweep(spec) for spec in specs]
     rows = []
     for name in workloads:
-        profile = workload(name)
         row = [name]
-        cancelled = 0
-        for threshold in (0.5, 0.0):
-            config = MemoryConfig(cancel_threshold=threshold)
-            spec = _spec_for(
-                workloads, target_requests, config, seed, schemes=(scheme,)
-            )
-            trace = spec.trace_for(name)
-            stats = simulate(
-                trace,
-                make_policy(scheme, PolicyContext(profile=profile, config=config)),
-                config,
-            )
-            row.append(stats.avg_read_latency_ns)
-            if threshold > 0:
-                cancelled = stats.cancelled_writes
-        row.append(cancelled)
+        for grid in grids:
+            row.append(grid[name][canonical].avg_read_latency_ns)
+        # cancelled_writes from the cancellation-enabled design point
+        row.append(grids[0][name][canonical].cancelled_writes)
         rows.append(row)
     return ExperimentResult(
         experiment_id="ablation-write-cancellation",

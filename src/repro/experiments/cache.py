@@ -21,7 +21,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from .. import __version__
 from ..memsim.stats import RunStats
@@ -30,7 +30,13 @@ from ..obs import get_logger
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from .spec import SimSpec as SweepSettings
 
-__all__ = ["CacheCounters", "SweepCache", "default_cache_dir", "settings_key"]
+__all__ = [
+    "CacheCounters",
+    "RunCache",
+    "SweepCache",
+    "default_cache_dir",
+    "settings_key",
+]
 
 _log = get_logger("experiments.cache")
 
@@ -41,6 +47,12 @@ CACHE_DIR_ENV = "READDUO_SWEEP_CACHE"
 #: cache *key* schema is versioned separately by
 #: :data:`repro.experiments.spec.SPEC_HASH_FORMAT`.
 _FORMAT = 1
+
+#: On-disk layout version of the granular per-run entries (RunCache).
+_RUN_FORMAT = 1
+
+#: Subdirectory (under the sweep-cache root) holding per-run entries.
+RUN_CACHE_SUBDIR = "runs"
 
 
 def default_cache_dir() -> Path:
@@ -114,25 +126,24 @@ class SweepCache:
         """The cache file a sweep with these settings lives in."""
         return self.cache_dir / f"{settings_key(settings)}.json"
 
-    def load(self, settings: "SweepSettings") -> Optional[Dict[str, Dict[str, RunStats]]]:
-        """Return the cached grid for ``settings``, or None on a miss.
+    def _read(
+        self, settings: "SweepSettings"
+    ) -> "Tuple[Optional[Dict[str, Dict[str, RunStats]]], str]":
+        """Read a stored grid; returns ``(grid, status)``.
 
-        A corrupt or truncated file (e.g. an interrupted manual copy) is
-        treated as a miss rather than an error; the next store overwrites it.
+        ``status`` is ``"hit"``, ``"absent"``, or ``"stale"`` (present
+        but unusable: corrupt JSON or an incompatible layout). No
+        counters are touched — :meth:`load` layers the accounting.
         """
         path = self.path_for(settings)
-        expected = len(settings.schemes) * len(settings.effective_workloads())
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except FileNotFoundError:
-            self.counters.misses += expected
-            return None
+            return None, "absent"
         except (OSError, ValueError):
-            self.counters.stale += 1
-            self.counters.misses += expected
             _log.warning("unreadable sweep cache entry %s; re-simulating", path)
-            return None
+            return None, "stale"
         try:
             runs = payload["runs"]
             # Reassemble in canonical settings order (the stored JSON is
@@ -146,13 +157,38 @@ class SweepCache:
                 for workload in settings.effective_workloads()
             }
         except (KeyError, TypeError):
-            self.counters.stale += 1
-            self.counters.misses += expected
             _log.warning("stale sweep cache entry %s; re-simulating", path)
+            return None, "stale"
+        return grid, "hit"
+
+    def load(self, settings: "SweepSettings") -> Optional[Dict[str, Dict[str, RunStats]]]:
+        """Return the cached grid for ``settings``, or None on a miss.
+
+        A corrupt or truncated file (e.g. an interrupted manual copy) is
+        treated as a miss rather than an error; the next store overwrites it.
+        """
+        expected = len(settings.schemes) * len(settings.effective_workloads())
+        grid, status = self._read(settings)
+        if grid is None:
+            if status == "stale":
+                self.counters.stale += 1
+            self.counters.misses += expected
             return None
         self.counters.hits += expected
-        _log.debug("sweep cache hit: %d runs from %s", expected, path)
+        _log.debug(
+            "sweep cache hit: %d runs from %s", expected, self.path_for(settings)
+        )
         return grid
+
+    def peek(self, settings: "SweepSettings") -> Optional[Dict[str, Dict[str, RunStats]]]:
+        """Like :meth:`load`, but with no hit/miss accounting.
+
+        The execution planner uses this as the read-through migration
+        path: a whole-sweep entry consulted for *individual* runs must
+        not count the full grid as hit or missed — the planner classifies
+        each run unit itself.
+        """
+        return self._read(settings)[0]
 
     def store(
         self, settings: "SweepSettings", grid: Dict[str, Dict[str, RunStats]]
@@ -182,7 +218,100 @@ class SweepCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached sweep; returns the number of files removed."""
+        """Delete every cached sweep; returns the number of files removed.
+
+        Only whole-sweep entries are removed; the granular per-run store
+        beside them (``runs/``) is managed by :meth:`RunCache.clear`.
+        """
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class RunCache:
+    """Granular per-run persistent store: one file per (workload, scheme) run.
+
+    Lives *beside* the whole-sweep entries, under ``<root>/runs/``, with
+    one JSON file per run keyed by :meth:`SimSpec.run_hash` — the content
+    hash of the single-pair sub-spec. Because the key is derived from the
+    same machinery as the sweep-level key, any two sweeps (an ablation
+    varying one config knob, an extras driver adding one scheme, two
+    figures sharing a subset) that imply the same simulation share the
+    same entry, so incremental re-exploration only pays for genuinely new
+    runs.
+
+    Args:
+        root: The sweep-cache root (the same directory a
+            :class:`SweepCache` uses); entries go in its ``runs/``
+            subdirectory.
+
+    Attributes:
+        counters: Per-instance :class:`CacheCounters`, counted in runs.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        base = Path(root) if root else default_cache_dir()
+        self.cache_dir = base / RUN_CACHE_SUBDIR
+        self.counters = CacheCounters()
+
+    def path_for(self, key: str) -> Path:
+        """The file one run's statistics live in."""
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunStats]:
+        """Return the cached statistics for one run hash, or None."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.counters.stale += 1
+            self.counters.misses += 1
+            _log.warning("unreadable run cache entry %s; re-simulating", path)
+            return None
+        try:
+            if payload["format"] != _RUN_FORMAT:
+                raise KeyError("format")
+            stats = RunStats.from_dict(payload["stats"])
+        except (KeyError, TypeError):
+            self.counters.stale += 1
+            self.counters.misses += 1
+            _log.warning("stale run cache entry %s; re-simulating", path)
+            return None
+        self.counters.hits += 1
+        return stats
+
+    def store(self, key: str, stats: RunStats) -> Path:
+        """Persist one run's statistics; atomic against concurrent readers."""
+        path = self.path_for(key)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _RUN_FORMAT,
+            "version": __version__,
+            "workload": stats.workload,
+            "scheme": stats.scheme,
+            # No sort_keys, as in SweepCache.store: insertion order keeps
+            # order-sensitive float sums bit-identical after a reload.
+            "stats": stats.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        self.counters.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached run; returns the number of files removed."""
         removed = 0
         if self.cache_dir.is_dir():
             for entry in self.cache_dir.glob("*.json"):

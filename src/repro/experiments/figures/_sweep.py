@@ -9,7 +9,7 @@ from ..report import ExperimentResult, geometric_mean
 from ..runner import run_sweep
 from ..spec import SimSpec
 
-__all__ = ["sweep_settings", "normalized_figure"]
+__all__ = ["sweep_settings", "sweep_specs", "normalized_figure"]
 
 
 def sweep_settings(
@@ -22,6 +22,20 @@ def sweep_settings(
     if target_requests is not None:
         kwargs["target_requests"] = target_requests
     return SimSpec(**kwargs)
+
+
+def sweep_specs(
+    target_requests: Optional[int] = None,
+    workloads: Sequence[str] = (),
+    seed: int = 42,
+) -> tuple:
+    """Spec-collector form of :func:`sweep_settings` for the planner.
+
+    Registered (via ``EXPERIMENT_SPECS``) for every sweep figure, so a
+    planned ``readduo run`` can union all figures' run units up front —
+    they all collapse to this one shared spec.
+    """
+    return (sweep_settings(target_requests, workloads, seed),)
 
 
 def normalized_figure(

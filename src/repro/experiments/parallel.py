@@ -1,25 +1,38 @@
-"""Parallel execution of the scheme x workload simulation grid.
+"""Parallel execution of atomic simulation run units.
 
 The sweep is embarrassingly parallel: every (workload, scheme) pair is an
-independent event-driven run. This module fans the grid out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`, batching pairs so each
-worker task generates its workload's trace *once* and reuses it for every
-scheme in the batch (trace generation is deterministic per seed, so a
-regenerated trace is identical to the serial runner's).
+independent event-driven run. This module executes those pairs — the
+planner's :class:`~repro.experiments.planner.RunUnit`\\ s — on a
+work-stealing process pool whose parallelism is ``workloads x schemes``
+rather than ``workloads``: the parent keeps one unit in flight per
+worker, and each completion pulls the next unit from the same workload's
+queue where possible (sticky assignment) or steals from the workload
+with the most remaining work. Workers memoize generated traces
+per-process (:class:`TraceMemo`), so sticky scheduling makes each worker
+generate a given workload's trace once and reuse it across schemes, just
+like the serial inner loop.
 
 Determinism: each run's randomness comes entirely from the trace seed and
-the policy seed, both fixed by :class:`~repro.experiments.runner.
-SweepSettings`, so the parallel grid is bit-for-bit identical to the
-serial grid regardless of worker scheduling. Results are reassembled in
-the canonical (settings order) layout, not completion order.
+the policy seed, both fixed by the unit's
+:class:`~repro.experiments.spec.SimSpec`, and scheduling never feeds back
+into a run — so the grid is bit-for-bit identical to the serial one
+regardless of worker count or stealing order.
 """
 
 from __future__ import annotations
 
-import math
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..memsim.engine import simulate
 from ..memsim.stats import RunStats
@@ -27,68 +40,188 @@ from ..obs import Telemetry, get_logger
 from ..traces.spec import workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .planner import RunUnit
     from .spec import SimSpec as SweepSettings
 
-__all__ = ["plan_batches", "simulate_batch", "run_sweep_parallel"]
+__all__ = [
+    "TraceMemo",
+    "simulate_batch",
+    "simulate_unit",
+    "run_units_parallel",
+    "run_sweep_parallel",
+]
 
 _log = get_logger("experiments.parallel")
 
-#: Batches submitted per worker (keeps the pool busy when batch runtimes
-#: differ — heavy workloads like mcf take several times longer than light
-#: ones).
-_OVERSUBSCRIBE = 2
 
+class TraceMemo:
+    """Bounded memo of generated traces, keyed by trace identity.
 
-def plan_batches(
-    workloads: Sequence[str], schemes: Sequence[str], jobs: int
-) -> List[Tuple[str, Tuple[str, ...]]]:
-    """Split the grid into (workload, scheme-chunk) tasks.
-
-    Each task covers one workload so its trace is generated once per
-    batch. With more workers than workloads, each workload's scheme list
-    is split into several chunks so every worker still gets work.
+    A trace is fully determined by (workload, target_requests, seed,
+    num_cores); everything else in a spec only affects the policy or the
+    engine. One instance lives in each worker process (and one in the
+    planner's serial loop), so consecutive same-workload units reuse the
+    trace instead of regenerating it. The capacity bound keeps memory
+    flat when stealing moves a worker across many workloads.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    schemes = tuple(schemes)
-    if not schemes:
-        return [(name, ()) for name in workloads]
-    chunks = max(1, math.ceil(jobs * _OVERSUBSCRIBE / max(1, len(workloads))))
-    chunks = min(chunks, len(schemes))
-    size = math.ceil(len(schemes) / chunks)
-    batches: List[Tuple[str, Tuple[str, ...]]] = []
-    for name in workloads:
-        for start in range(0, len(schemes), size):
-            batches.append((name, schemes[start : start + size]))
-    return batches
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: "OrderedDict[tuple, object]" = OrderedDict()
+
+    def trace_for(self, spec: "SweepSettings", workload_name: str):
+        key = (
+            workload_name,
+            spec.target_requests,
+            spec.seed,
+            spec.config.num_cores,
+        )
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = spec.trace_for(workload_name)
+            self._traces[key] = trace
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+        else:
+            self._traces.move_to_end(key)
+        return trace
+
+
+#: Per-process trace memo; in a pool worker it persists across the tasks
+#: that land on that worker, which is what makes sticky assignment pay.
+_TRACE_MEMO = TraceMemo()
+
+
+def simulate_unit(
+    spec: "SweepSettings", workload_name: str, scheme: str
+) -> RunStats:
+    """Run one (workload, scheme) simulation; the worker entry point.
+
+    Also the planner's serial inner step, so the serial and parallel
+    paths share one code path and cannot diverge. The trace comes from
+    the process-local :class:`TraceMemo`; the policy is built fresh per
+    unit exactly as the serial runner always did.
+    """
+    profile = workload(workload_name)
+    trace = _TRACE_MEMO.trace_for(spec, workload_name)
+    policy = spec.make_policy(scheme, profile)
+    return simulate(trace, policy, spec.config, epoch_s=spec.epoch_s)
 
 
 def simulate_batch(
     settings: "SweepSettings", workload_name: str, schemes: Sequence[str]
 ) -> List[Tuple[str, RunStats]]:
-    """Run one workload's trace under each scheme; the worker entry point.
+    """Run one workload's trace under each scheme, in order.
 
-    Also the serial runner's inner loop, so the serial and parallel paths
-    share one code path and cannot diverge.
+    Kept as the reference serial loop: a direct call reproduces the
+    planner's per-unit results for its workload (the unit tests assert
+    this equivalence).
     """
-    profile = workload(workload_name)
-    trace = settings.trace_for(workload_name)
-    results: List[Tuple[str, RunStats]] = []
-    for scheme in schemes:
-        policy = settings.make_policy(scheme, profile)
-        results.append(
-            (scheme, simulate(trace, policy, settings.config, epoch_s=settings.epoch_s))
-        )
-    return results
+    return [
+        (scheme, simulate_unit(settings, workload_name, scheme))
+        for scheme in schemes
+    ]
 
 
-def _timed_batch(
-    settings: "SweepSettings", workload_name: str, schemes: Sequence[str]
-) -> Tuple[float, List[Tuple[str, RunStats]]]:
-    """Pool entry point: run a batch and report its in-worker wall time."""
+def _timed_unit(
+    spec: "SweepSettings", workload_name: str, scheme: str
+) -> Tuple[float, RunStats]:
+    """Pool entry point: run one unit and report its in-worker wall time."""
     start = time.perf_counter()
-    results = simulate_batch(settings, workload_name, schemes)
-    return time.perf_counter() - start, results
+    stats = simulate_unit(spec, workload_name, scheme)
+    return time.perf_counter() - start, stats
+
+
+def run_units_parallel(
+    units: Sequence["RunUnit"],
+    jobs: int,
+    telemetry: Optional[Telemetry] = None,
+) -> Dict[str, RunStats]:
+    """Execute run units on a sticky work-stealing process pool.
+
+    Scheduling: units are queued per workload; the pool is primed with
+    one unit per worker spread across distinct workloads, and every
+    completion immediately submits the next unit from the *same*
+    workload (so that worker's memoized trace keeps paying off), falling
+    back to stealing from the workload with the most remaining units.
+    Exactly one unit is in flight per worker, which is what makes the
+    completion-to-resubmission affinity stick.
+
+    Progress is logged (INFO, stderr) per unit; when ``telemetry``
+    carries a tracer, every unit emits a ``run_unit`` record. Completion
+    order only affects reporting — results are keyed by unit hash, so
+    callers reassemble canonically.
+
+    Returns:
+        ``{unit.key: RunStats}`` for every unit.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    units = list(units)
+    if not units:
+        return {}
+    queues: Dict[str, Deque["RunUnit"]] = {}
+    for unit in units:
+        queues.setdefault(unit.workload, deque()).append(unit)
+
+    def take(prefer: Optional[str] = None) -> "RunUnit":
+        name = prefer if prefer in queues else None
+        if name is None:
+            # Steal from the workload with the most remaining units so
+            # long queues drain first (ties: first-seen workload).
+            name = max(queues, key=lambda n: len(queues[n]))
+        queue = queues[name]
+        unit = queue.popleft()
+        if not queue:
+            del queues[name]
+        return unit
+
+    max_workers = min(jobs, len(units))
+    tracer = telemetry.tracer if telemetry is not None else None
+    results: Dict[str, RunStats] = {}
+    start = time.perf_counter()
+    done_count = 0
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        in_flight: Dict[object, "RunUnit"] = {}
+
+        def submit(unit: "RunUnit") -> None:
+            future = pool.submit(_timed_unit, unit.spec, unit.workload, unit.scheme)
+            in_flight[future] = unit
+
+        # Prime one unit per worker, round-robin over distinct workloads
+        # so each worker's first trace generation seeds its affinity.
+        names = list(queues)
+        slot = 0
+        while len(in_flight) < max_workers and queues:
+            prefer = names[slot % len(names)]
+            slot += 1
+            if prefer not in queues:
+                continue
+            submit(take(prefer))
+        while in_flight:
+            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                unit = in_flight.pop(future)
+                elapsed, stats = future.result()
+                results[unit.key] = stats
+                done_count += 1
+                _log.info(
+                    "run unit %d/%d: %s/%s in %.2fs (worker)",
+                    done_count, len(units), unit.workload, unit.scheme, elapsed,
+                )
+                if tracer is not None:
+                    tracer.emit({
+                        "kind": "run_unit",
+                        "workload": unit.workload,
+                        "scheme": unit.scheme,
+                        "seconds": elapsed,
+                        "start_s": time.perf_counter() - start - elapsed,
+                    })
+                if queues:
+                    submit(take(prefer=unit.workload))
+    return results
 
 
 def run_sweep_parallel(
@@ -96,52 +229,23 @@ def run_sweep_parallel(
     jobs: int,
     telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Dict[str, RunStats]]:
-    """Compute the full grid with ``jobs`` worker processes.
+    """Compute one spec's full grid with ``jobs`` worker processes.
 
-    Progress is logged (INFO, stderr) as batches complete, with each
-    batch's in-worker wall time; when ``telemetry`` carries a tracer,
-    every batch also emits a ``sweep_batch`` record. Completion order
-    only affects reporting — results are reassembled in canonical
-    settings order, so the grid is bit-for-bit identical to the serial
-    one.
+    A thin wrapper over :func:`run_units_parallel` for callers that want
+    a whole grid without going through the planner's cache machinery.
 
     Returns:
         ``{workload: {scheme: RunStats}}`` in canonical settings order.
     """
-    workloads = settings.effective_workloads()
-    batches = plan_batches(workloads, settings.schemes, jobs)
-    collected: Dict[str, Dict[str, RunStats]] = {name: {} for name in workloads}
-    max_workers = min(jobs, len(batches)) or 1
-    tracer = telemetry.tracer if telemetry is not None else None
-    sweep_start = time.perf_counter()
-    done_count = 0
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        pending = {
-            pool.submit(_timed_batch, settings, name, chunk): (name, chunk)
-            for name, chunk in batches
-        }
-        while pending:
-            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                name, chunk = pending.pop(future)
-                elapsed, results = future.result()
-                for scheme, stats in results:
-                    collected[name][scheme] = stats
-                done_count += 1
-                _log.info(
-                    "sweep batch %d/%d: %s x %d schemes in %.2fs (worker)",
-                    done_count, len(batches), name, len(chunk), elapsed,
-                )
-                if tracer is not None:
-                    tracer.emit({
-                        "kind": "sweep_batch",
-                        "workload": name,
-                        "schemes": len(chunk),
-                        "seconds": elapsed,
-                        "start_s": time.perf_counter() - sweep_start - elapsed,
-                    })
-    # Reassemble in canonical order so iteration matches the serial grid.
+    from .planner import plan_units
+
+    units = plan_units(settings)
+    results = run_units_parallel(units, jobs, telemetry)
+    by_pair = {(unit.workload, unit.scheme): unit.key for unit in units}
     return {
-        name: {scheme: collected[name][scheme] for scheme in settings.schemes}
-        for name in workloads
+        name: {
+            scheme: results[by_pair[(name, scheme)]]
+            for scheme in settings.schemes
+        }
+        for name in settings.effective_workloads()
     }

@@ -1,0 +1,377 @@
+"""Run-level execution planner: plan → dedupe → execute → fan out.
+
+A sweep is not the atomic unit of work — a *run* is: one simulation of
+one scheme on one workload's trace under one config/seed/epoch. This
+module decomposes any set of :class:`~repro.experiments.spec.SimSpec`\\ s
+into those atomic :class:`RunUnit`\\ s, each identified by
+:meth:`SimSpec.run_hash` (the content hash of the single-pair sub-spec),
+then resolves every unit through a cache hierarchy before simulating
+anything:
+
+1. the in-process run memo (``_RUN_MEMO``, shared across sweeps);
+2. the granular on-disk store (:class:`~repro.experiments.cache.RunCache`,
+   one file per run under ``<cache>/runs/``);
+3. read-through migration from legacy *whole-sweep* entries — an old
+   ``SweepCache`` grid satisfies its runs individually and each migrated
+   run is re-stored granularly, so pre-planner caches keep paying off;
+4. actual simulation, serial or on the work-stealing pool
+   (:func:`~repro.experiments.parallel.run_units_parallel`) with
+   ``workloads x schemes`` way parallelism.
+
+Because unit identity is content-hashed, two artifacts whose specs
+overlap (two figures sharing a scheme subset, an ablation varying one
+knob) share units: :func:`build_plan` unions and dedupes them so the
+overlap simulates exactly once, and the per-run store makes the overlap
+persistent across processes. :class:`PlanStats` accounts for every unit
+(``plan.units_total/cached/simulated/deduped`` metrics counters), which
+is how the benchmark and CI smoke assert "warm rerun simulates zero".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..memsim.stats import RunStats
+from ..obs import Telemetry, get_logger
+from .cache import RunCache, SweepCache
+from .parallel import run_units_parallel, simulate_unit
+from .spec import SimSpec
+
+__all__ = [
+    "RunUnit",
+    "PlanStats",
+    "ExecutionPlan",
+    "plan_units",
+    "build_plan",
+    "execute_plan",
+    "clear_run_memo",
+]
+
+_log = get_logger("experiments.planner")
+
+#: In-process memo of completed runs, keyed by run hash. Shared across
+#: sweeps (unlike the runner's per-settings grid memo), so overlapping
+#: specs within one process never re-simulate shared pairs. Cleared by
+#: :func:`clear_run_memo` / :func:`repro.experiments.runner.clear_sweep_cache`.
+_RUN_MEMO: Dict[str, RunStats] = {}
+
+
+def clear_run_memo() -> None:
+    """Drop the in-process per-run memo (tests use this for isolation)."""
+    _RUN_MEMO.clear()
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One atomic simulation: a (workload, scheme) pair under a spec.
+
+    Attributes:
+        workload: Benchmark name.
+        scheme: Canonical scheme name.
+        spec: The single-pair sub-spec (:meth:`SimSpec.run_subspec`)
+            carrying the config/seed/epoch — everything a worker needs.
+        key: ``spec.content_hash()``; the unit's cache/dedup identity.
+    """
+
+    workload: str
+    scheme: str
+    spec: SimSpec
+    key: str
+
+
+def plan_units(spec: SimSpec) -> List[RunUnit]:
+    """Decompose one spec into its run units, in canonical grid order."""
+    units: List[RunUnit] = []
+    for name in spec.effective_workloads():
+        for scheme in spec.schemes:
+            sub = spec.run_subspec(name, scheme)
+            units.append(
+                RunUnit(workload=name, scheme=scheme, spec=sub, key=sub.content_hash())
+            )
+    return units
+
+
+@dataclass
+class PlanStats:
+    """Unit accounting for one planned execution.
+
+    ``units_total`` counts units as *requested* (summed over specs,
+    before dedup); every requested unit lands in exactly one of
+    ``units_deduped`` (duplicate of an earlier unit in the same plan),
+    ``units_memo`` / ``units_disk`` / ``units_migrated`` (served from the
+    in-process memo, the granular store, or a legacy whole-sweep entry),
+    or ``units_simulated``.
+
+    Attributes:
+        units_total: Units requested across all specs, duplicates included.
+        units_deduped: Duplicates folded away by :func:`build_plan`.
+        units_memo: Units served from the in-process run memo.
+        units_disk: Units served from the granular on-disk store.
+        units_migrated: Units served from a legacy whole-sweep entry
+            (and re-stored granularly).
+        units_simulated: Units actually executed.
+        stale: Unreadable granular entries encountered (re-simulated).
+        schedule_wall_s: Planner overhead — wall time spent classifying,
+            migrating, and storing, excluding the simulations themselves.
+    """
+
+    units_total: int = 0
+    units_deduped: int = 0
+    units_memo: int = 0
+    units_disk: int = 0
+    units_migrated: int = 0
+    units_simulated: int = 0
+    stale: int = 0
+    schedule_wall_s: float = 0.0
+
+    @property
+    def units_cached(self) -> int:
+        """Units served without simulation (memo + disk + migrated)."""
+        return self.units_memo + self.units_disk + self.units_migrated
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "units_total": self.units_total,
+            "units_cached": self.units_cached,
+            "units_simulated": self.units_simulated,
+            "units_deduped": self.units_deduped,
+            "units_memo": self.units_memo,
+            "units_disk": self.units_disk,
+            "units_migrated": self.units_migrated,
+            "stale": self.stale,
+            "schedule_wall_s": self.schedule_wall_s,
+        }
+
+
+@dataclass
+class ExecutionPlan:
+    """A deduplicated union of run units, ready to execute.
+
+    Attributes:
+        specs: The source specs, in the order given.
+        units: Distinct units in first-appearance order (each spec's
+            canonical grid order, earlier specs first).
+        stats: Filled in by :func:`build_plan` (totals) and
+            :func:`execute_plan` (classification).
+    """
+
+    specs: Tuple[SimSpec, ...]
+    units: Tuple[RunUnit, ...]
+    stats: PlanStats
+
+    def grid_for(
+        self, spec: SimSpec, results: Dict[str, RunStats]
+    ) -> Dict[str, Dict[str, RunStats]]:
+        """Fan out executed results into one spec's canonical grid."""
+        return {
+            name: {
+                scheme: results[spec.run_hash(name, scheme)]
+                for scheme in spec.schemes
+            }
+            for name in spec.effective_workloads()
+        }
+
+
+def build_plan(specs: Sequence[SimSpec]) -> ExecutionPlan:
+    """Union the specs' run units and dedupe them by content hash."""
+    specs = tuple(specs)
+    deduped: Dict[str, RunUnit] = {}
+    total = 0
+    for spec in specs:
+        for unit in plan_units(spec):
+            total += 1
+            if unit.key not in deduped:
+                deduped[unit.key] = unit
+    units = tuple(deduped.values())
+    stats = PlanStats(units_total=total, units_deduped=total - len(units))
+    return ExecutionPlan(specs=specs, units=units, stats=stats)
+
+
+def _run_units_serial(
+    units: Sequence[RunUnit], telemetry: Optional[Telemetry]
+) -> Dict[str, RunStats]:
+    """Execute units in order, in-process.
+
+    Consecutive same-workload units are reported as one ``sweep_batch``
+    tracer record (matching the pre-planner serial runner, whose batch
+    was exactly this group); each unit also emits a ``run_unit`` record.
+    The process-local trace memo makes the grouped units share a trace.
+    """
+    tracer = telemetry.tracer if telemetry is not None else None
+    results: Dict[str, RunStats] = {}
+    serial_start = time.perf_counter()
+    n_batches = sum(
+        1
+        for i, unit in enumerate(units)
+        if i == 0 or unit.workload != units[i - 1].workload
+    )
+    index = 0
+    batch_no = 0
+    while index < len(units):
+        name = units[index].workload
+        batch_no += 1
+        batch_start = time.perf_counter()
+        batch_size = 0
+        while index < len(units) and units[index].workload == name:
+            unit = units[index]
+            unit_start = time.perf_counter()
+            results[unit.key] = simulate_unit(unit.spec, unit.workload, unit.scheme)
+            unit_elapsed = time.perf_counter() - unit_start
+            if tracer is not None:
+                tracer.emit({
+                    "kind": "run_unit",
+                    "workload": unit.workload,
+                    "scheme": unit.scheme,
+                    "seconds": unit_elapsed,
+                    "start_s": unit_start - serial_start,
+                })
+            batch_size += 1
+            index += 1
+        elapsed = time.perf_counter() - batch_start
+        _log.info(
+            "sweep batch %d/%d: %s x %d schemes in %.2fs",
+            batch_no, n_batches, name, batch_size, elapsed,
+        )
+        if tracer is not None:
+            tracer.emit({
+                "kind": "sweep_batch",
+                "workload": name,
+                "schemes": batch_size,
+                "seconds": elapsed,
+                "start_s": batch_start - serial_start,
+            })
+    return results
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> Dict[str, RunStats]:
+    """Resolve every unit of a plan: memo → disk → migration → simulate.
+
+    Args:
+        plan: The plan from :func:`build_plan`. Its ``stats`` are filled
+            in as a side effect.
+        jobs: Worker processes for the units that must actually run;
+            1 executes in-process.
+        cache: Optional persistent :class:`SweepCache`; its *root*
+            locates both the granular per-run store (``runs/``) and the
+            legacy whole-sweep entries used for migration. Its counters
+            keep their historical run-level semantics (hits = runs
+            served from disk, misses = runs simulated).
+        telemetry: Optional :class:`~repro.obs.Telemetry`; accumulates
+            ``plan.*`` counters and (serial path) ``sweep_batch`` /
+            ``run_unit`` tracer records.
+
+    Returns:
+        ``{unit.key: RunStats}`` covering every unit in the plan.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    stats = plan.stats
+    overhead_start = time.perf_counter()
+    results: Dict[str, RunStats] = {}
+    pending: List[RunUnit] = []
+    for unit in plan.units:
+        memo_hit = _RUN_MEMO.get(unit.key)
+        if memo_hit is not None:
+            results[unit.key] = memo_hit
+            stats.units_memo += 1
+        else:
+            pending.append(unit)
+
+    run_cache = RunCache(cache.cache_dir) if cache is not None else None
+    if run_cache is not None and pending:
+        missing: List[RunUnit] = []
+        for unit in pending:
+            loaded = run_cache.load(unit.key)
+            if loaded is not None:
+                results[unit.key] = loaded
+                stats.units_disk += 1
+            else:
+                missing.append(unit)
+        pending = missing
+        stats.stale += run_cache.counters.stale
+
+    if cache is not None and pending:
+        # Read-through migration: a legacy whole-sweep entry for any
+        # source spec can satisfy that spec's still-missing units; each
+        # migrated run is re-stored granularly so the next planner pass
+        # hits the per-run store directly.
+        pending_by_key = {unit.key: unit for unit in pending}
+        peeked = set()
+        for spec in plan.specs:
+            if not pending_by_key:
+                break
+            spec_key = spec.content_hash()
+            if spec_key in peeked:
+                continue
+            peeked.add(spec_key)
+            spec_units = [
+                unit for unit in plan_units(spec) if unit.key in pending_by_key
+            ]
+            if not spec_units:
+                continue
+            grid = cache.peek(spec)
+            if grid is None:
+                continue
+            for unit in spec_units:
+                try:
+                    migrated = grid[unit.workload][unit.scheme]
+                except KeyError:  # pragma: no cover - defensive
+                    continue
+                results[unit.key] = migrated
+                stats.units_migrated += 1
+                del pending_by_key[unit.key]
+                if run_cache is not None:
+                    run_cache.store(unit.key, migrated)
+        if stats.units_migrated:
+            _log.info(
+                "migrated %d run(s) from whole-sweep cache entries",
+                stats.units_migrated,
+            )
+        pending = [unit for unit in pending if unit.key in pending_by_key]
+
+    execute_elapsed = 0.0
+    if pending:
+        _log.info(
+            "executing %d of %d planned unit(s), %d job(s)",
+            len(pending), len(plan.units), jobs,
+        )
+        execute_start = time.perf_counter()
+        if jobs > 1 and len(pending) > 1:
+            simulated = run_units_parallel(pending, jobs, telemetry)
+        else:
+            simulated = _run_units_serial(pending, telemetry)
+        execute_elapsed = time.perf_counter() - execute_start
+        results.update(simulated)
+        stats.units_simulated += len(pending)
+        if run_cache is not None:
+            for unit in pending:
+                run_cache.store(unit.key, simulated[unit.key])
+
+    for unit in plan.units:
+        _RUN_MEMO[unit.key] = results[unit.key]
+    stats.schedule_wall_s += (
+        time.perf_counter() - overhead_start - execute_elapsed
+    )
+
+    if cache is not None:
+        # Historical run-level accounting on the caller's SweepCache:
+        # disk-served runs (granular or migrated) are hits, simulated
+        # runs are misses. Memo hits never touched the disk, as before.
+        cache.counters.hits += stats.units_disk + stats.units_migrated
+        cache.counters.misses += stats.units_simulated
+        cache.counters.stale += stats.stale
+
+    if telemetry is not None and telemetry.metrics is not None:
+        metrics = telemetry.metrics
+        metrics.counter("plan.units_total").inc(stats.units_total)
+        metrics.counter("plan.units_cached").inc(stats.units_cached)
+        metrics.counter("plan.units_simulated").inc(stats.units_simulated)
+        metrics.counter("plan.units_deduped").inc(stats.units_deduped)
+    return results

@@ -9,6 +9,7 @@ paper-vs-measured comparison in EXPERIMENTS.md needs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -80,10 +81,16 @@ class ExperimentResult:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean of positive values (the paper's cross-workload avg)."""
-    import math
+    """Geometric mean (the paper's cross-workload average).
 
-    vals = [v for v in values if v > 0]
+    Every value must be positive: silently dropping non-positive inputs
+    would skew a geomean row while looking plausible, so a zero or
+    negative value (an upstream metric bug) raises instead.
+    """
+    vals = list(values)
     if not vals:
-        raise ValueError("geometric mean of no positive values")
+        raise ValueError("geometric mean of an empty sequence")
+    bad = [v for v in vals if v <= 0]
+    if bad:
+        raise ValueError(f"geometric mean requires positive values, got {bad[0]!r}")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -2,10 +2,13 @@
 
 Figures 9/10/11/12/13/14/15 all consume the same underlying data: every
 scheme run on every workload's trace. :func:`run_sweep` produces that grid
-once and memoizes it per :class:`SweepSettings`; with a persistent cache
-(:class:`~repro.experiments.cache.SweepCache`) the grid also survives
-across processes, so regenerating all figures costs zero re-simulation.
-With ``jobs > 1`` the grid is computed by a process pool
+once and memoizes it per :class:`SweepSettings`; underneath, the grid is
+resolved run-by-run through the execution planner
+(:mod:`repro.experiments.planner`), so with a persistent cache
+(:class:`~repro.experiments.cache.SweepCache` plus its granular per-run
+store) only genuinely new (workload, scheme) pairs ever simulate, even
+across *different* sweeps that merely overlap. With ``jobs > 1`` the
+missing runs execute on a work-stealing process pool
 (:mod:`repro.experiments.parallel`) — results are bit-for-bit identical
 to the serial path because all randomness is seed-derived.
 
@@ -23,7 +26,7 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
 from .cache import SweepCache
-from .parallel import run_sweep_parallel, simulate_batch
+from .planner import build_plan, clear_run_memo, execute_plan
 from .spec import ALL_SCHEMES, SimSpec
 
 __all__ = [
@@ -138,16 +141,6 @@ def run_sweep(
         _log.debug("sweep served from in-process memo (%d runs)", n_runs)
         return memoized
     persistent = _resolve_cache(cache)
-    if persistent is not None:
-        loaded = persistent.load(settings)
-        if loaded is not None:
-            _log.info("sweep cache hit: %d runs served from disk", n_runs)
-            if telemetry is not None and telemetry.tracer is not None:
-                telemetry.tracer.emit(
-                    {"kind": "sweep_cache", "result": "hit", "runs": n_runs}
-                )
-            _SWEEP_CACHE[settings] = loaded
-            return loaded
     effective_jobs = _DEFAULT_JOBS if jobs is None else jobs
     if effective_jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -157,34 +150,31 @@ def run_sweep(
         len(workloads), len(settings.schemes), effective_jobs,
     )
     sweep_start = time.perf_counter()
-    if effective_jobs > 1:
-        grid = run_sweep_parallel(settings, effective_jobs, telemetry)
-    else:
-        grid = {}
-        for index, name in enumerate(workloads, start=1):
-            batch_start = time.perf_counter()
-            grid[name] = dict(simulate_batch(settings, name, settings.schemes))
-            elapsed = time.perf_counter() - batch_start
-            _log.info(
-                "sweep batch %d/%d: %s x %d schemes in %.2fs",
-                index, len(workloads), name, len(settings.schemes), elapsed,
-            )
-            if telemetry is not None and telemetry.tracer is not None:
-                telemetry.tracer.emit({
-                    "kind": "sweep_batch",
-                    "workload": name,
-                    "schemes": len(settings.schemes),
-                    "seconds": elapsed,
-                    "start_s": batch_start - sweep_start,
-                })
+    plan = build_plan([settings])
+    results = execute_plan(
+        plan, jobs=effective_jobs, cache=persistent, telemetry=telemetry
+    )
+    grid = plan.grid_for(settings, results)
     total = time.perf_counter() - sweep_start
-    _log.info("sweep done: %d runs in %.2fs", n_runs, total)
+    simulated = plan.stats.units_simulated
+    cached = plan.stats.units_cached
+    _log.info(
+        "sweep done: %d runs (%d simulated, %d cached) in %.2fs",
+        n_runs, simulated, cached, total,
+    )
+    if simulated == 0 and telemetry is not None and telemetry.tracer is not None:
+        telemetry.tracer.emit(
+            {"kind": "sweep_cache", "result": "hit", "runs": n_runs}
+        )
     if telemetry is not None and telemetry.metrics is not None:
         metrics = telemetry.metrics
-        metrics.counter("sweep.runs_simulated").inc(n_runs)
-        metrics.counter("sweep.sweeps").inc()
-        metrics.gauge("sweep.last_wall_s").set(total)
-    if persistent is not None:
+        if cached:
+            metrics.counter("sweep.cache_hits").inc(cached)
+        if simulated:
+            metrics.counter("sweep.runs_simulated").inc(simulated)
+            metrics.counter("sweep.sweeps").inc()
+            metrics.gauge("sweep.last_wall_s").set(total)
+    if persistent is not None and simulated > 0:
         persistent.store(settings, grid)
     _SWEEP_CACHE[settings] = grid
     return grid
@@ -193,7 +183,9 @@ def run_sweep(
 def clear_sweep_cache() -> None:
     """Drop memoized sweeps (tests use this to control memory).
 
-    Only the in-process memo is cleared; the persistent on-disk cache is
-    managed separately via :meth:`SweepCache.clear`.
+    Clears both the per-settings grid memo and the planner's per-run
+    memo; the persistent on-disk caches are managed separately via
+    :meth:`SweepCache.clear` / :meth:`RunCache.clear`.
     """
     _SWEEP_CACHE.clear()
+    clear_run_memo()

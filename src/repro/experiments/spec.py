@@ -282,6 +282,29 @@ class SimSpec:
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    def run_subspec(self, workload_name: str, scheme: str) -> "SimSpec":
+        """The single-(workload, scheme) spec identifying one run unit.
+
+        A sweep decomposes into atomic runs — one simulation of one
+        scheme on one workload's trace — and each run's identity is the
+        sub-spec carrying only that pair (all other fields unchanged).
+        Two sweeps that differ only in their scheme/workload *lists*
+        produce equal sub-specs for every pair they share, which is what
+        lets the execution planner dedupe and cache at run granularity.
+        """
+        return dataclasses.replace(
+            self, schemes=(scheme,), workloads=(workload_name,)
+        )
+
+    def run_hash(self, workload_name: str, scheme: str) -> str:
+        """Content hash of one (workload, scheme) run; the per-run cache key.
+
+        Derived from the same :meth:`content_hash` machinery as the
+        sweep-level key, via :meth:`run_subspec` — there is still exactly
+        one definition of "the same simulation".
+        """
+        return self.run_subspec(workload_name, scheme).content_hash()
+
     # ------------------------------------------------------------- execution
 
     def trace_for(self, workload_name: str):

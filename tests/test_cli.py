@@ -3,6 +3,17 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.runner import clear_sweep_cache
+
+
+@pytest.fixture(autouse=True)
+def clean_memo():
+    # The planner's per-run memo is shared across specs, so without
+    # isolation an earlier test's runs would satisfy a later test's
+    # sweep and skew its telemetry expectations.
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
 
 
 class TestParser:

@@ -116,13 +116,13 @@ class TestRoundTrip:
         run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
         clear_sweep_cache()
 
-        import repro.experiments.runner as runner_mod
+        import repro.experiments.planner as planner_mod
 
         def explode(*_args, **_kwargs):
             raise AssertionError("warm cache must not simulate")
 
-        monkeypatch.setattr(runner_mod, "simulate_batch", explode)
-        monkeypatch.setattr(runner_mod, "run_sweep_parallel", explode)
+        monkeypatch.setattr(planner_mod, "simulate_unit", explode)
+        monkeypatch.setattr(planner_mod, "run_units_parallel", explode)
         grid = run_sweep(SMALL, jobs=1, cache=SweepCache(tmp_path))
         assert set(grid["gcc"]) == {"Ideal", "Hybrid"}
 
@@ -185,14 +185,28 @@ class TestCacheCounters:
         assert fresh.counters.hits == 0
         assert fresh.counters.misses == self.N_RUNS
 
-    def test_corrupt_file_counts_as_stale_and_missed(self, tmp_path):
+    def test_granular_entries_survive_whole_sweep_corruption(self, tmp_path):
+        # The per-run store is written beside the whole-sweep entry, so
+        # corrupting the whole-sweep file alone still yields all hits.
         cache = SweepCache(tmp_path)
         run_sweep(SMALL, jobs=1, cache=cache)
         clear_sweep_cache()
         cache.path_for(SMALL).write_text("{not json")
         fresh = SweepCache(tmp_path)
         run_sweep(SMALL, jobs=1, cache=fresh)
-        assert fresh.counters.stale == 1
+        assert fresh.counters.hits == self.N_RUNS
+        assert fresh.counters.misses == 0
+
+    def test_corrupt_files_count_as_stale_and_missed(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=cache)
+        clear_sweep_cache()
+        cache.path_for(SMALL).write_text("{not json")
+        for entry in (tmp_path / "runs").glob("*.json"):
+            entry.write_text("{not json")
+        fresh = SweepCache(tmp_path)
+        run_sweep(SMALL, jobs=1, cache=fresh)
+        assert fresh.counters.stale == self.N_RUNS
         assert fresh.counters.misses == self.N_RUNS
         assert fresh.counters.hits == 0
 

@@ -1,4 +1,4 @@
-"""Tests for the process-parallel sweep executor.
+"""Tests for the process-parallel run-unit executor.
 
 Determinism is the contract: a parallel grid must be bit-for-bit
 identical to the serial grid, because all randomness is derived from the
@@ -7,7 +7,13 @@ settings' seed and worker scheduling never feeds back into a run.
 
 import pytest
 
-from repro.experiments.parallel import plan_batches, run_sweep_parallel, simulate_batch
+from repro.experiments.parallel import (
+    TraceMemo,
+    run_sweep_parallel,
+    run_units_parallel,
+    simulate_batch,
+)
+from repro.experiments.planner import plan_units
 from repro.experiments.runner import SweepSettings, clear_sweep_cache, run_sweep
 
 
@@ -34,31 +40,45 @@ def _flat(grid):
     ]
 
 
-class TestPlanBatches:
-    def test_one_batch_per_workload_when_workers_scarce(self):
-        batches = plan_batches(("a", "b", "c"), ("S1", "S2"), jobs=1)
-        assert batches == [
-            ("a", ("S1", "S2")),
-            ("b", ("S1", "S2")),
-            ("c", ("S1", "S2")),
-        ]
+class TestRunUnitsParallel:
+    def test_every_unit_executed_exactly_once(self):
+        units = plan_units(SMALL)
+        assert len(units) == len(SMALL.workloads) * len(SMALL.schemes)
+        results = run_units_parallel(units, jobs=4)
+        assert sorted(results) == sorted(u.key for u in units)
 
-    def test_schemes_split_when_workers_outnumber_workloads(self):
-        batches = plan_batches(("a",), ("S1", "S2", "S3", "S4"), jobs=4)
-        assert len(batches) > 1
-        covered = [s for _, chunk in batches for s in chunk]
-        assert covered == ["S1", "S2", "S3", "S4"]
+    def test_parallelism_exceeds_workload_count(self):
+        # 2 workloads x 3 schemes = 6 independent units; jobs=4 must be
+        # accepted and fully covered (the old per-workload batcher would
+        # have capped useful parallelism at 2).
+        units = plan_units(SMALL)
+        results = run_units_parallel(units, jobs=4)
+        assert len(results) == 6
 
-    def test_every_pair_covered_exactly_once(self):
-        workloads = ("a", "b", "c")
-        schemes = ("S1", "S2", "S3", "S4", "S5")
-        batches = plan_batches(workloads, schemes, jobs=8)
-        pairs = [(w, s) for w, chunk in batches for s in chunk]
-        assert sorted(pairs) == sorted((w, s) for w in workloads for s in schemes)
+    def test_empty_unit_list_is_a_noop(self):
+        assert run_units_parallel([], jobs=2) == {}
 
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ValueError):
-            plan_batches(("a",), ("S1",), jobs=0)
+            run_units_parallel(plan_units(SMALL), jobs=0)
+
+
+class TestTraceMemo:
+    def test_trace_reused_for_same_identity(self):
+        memo = TraceMemo(capacity=2)
+        first = memo.trace_for(SMALL, "gcc")
+        again = memo.trace_for(SMALL, "gcc")
+        assert first is again
+
+    def test_capacity_bound_evicts_oldest(self):
+        memo = TraceMemo(capacity=1)
+        first = memo.trace_for(SMALL, "gcc")
+        memo.trace_for(SMALL, "sphinx3")
+        assert memo.trace_for(SMALL, "gcc") is not first
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceMemo(capacity=0)
 
 
 class TestDeterminism:
