@@ -13,6 +13,9 @@ Subcommands:
   or loaded whole from a JSON/TOML file with ``--spec experiment.toml``
   (see :class:`repro.experiments.spec.SimSpec`); both forms produce
   byte-identical output for equivalent content.
+* ``faults`` — fault-injection study: sweep the stuck-at fault density
+  under one scheme/workload and report the uncorrectable-error-rate
+  curve (see :mod:`repro.experiments.faults` and docs/RESILIENCE.md).
 
 Simulation-sweep commands accept ``--jobs N`` (process-parallel run
 units, up to workloads x schemes at once) and ``--no-cache`` (skip the
@@ -345,6 +348,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .experiments.faults import fault_density_study
+    from .experiments.runner import configure_sweep_defaults
+    from .experiments.spec import SpecError
+
+    scheme = canonical_scheme_name(args.scheme)
+    code = _reject_unknown_schemes([scheme])
+    if code:
+        return code
+    densities = args.densities
+    if any(d < 0.0 or d > 1.0 for d in densities):
+        print("densities must be in [0, 1]", file=sys.stderr)
+        return 2
+    tele = _build_telemetry(args)
+    prev_jobs, prev_cache, prev_tele = configure_sweep_defaults(
+        jobs=args.jobs, cache=not args.no_cache, telemetry=tele
+    )
+    started = time.perf_counter()
+    try:
+        result = fault_density_study(
+            densities=tuple(densities),
+            workload_name=args.workload,
+            scheme=scheme,
+            target_requests=args.requests,
+            seed=args.seed,
+            read_noise_rate=args.read_noise,
+            write_fail_rate=args.write_fail,
+            fault_seed=args.fault_seed,
+        )
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        configure_sweep_defaults(
+            jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
+        )
+    _log.info(
+        "fault-density study done in %.2fs", time.perf_counter() - started
+    )
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        **result.extra,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output == "-":
+        # Pure JSON on stdout; the human-readable table moves to stderr.
+        print(result.render(), file=sys.stderr)
+        print(text)
+    else:
+        print(result.render())
+        if args.output is not None:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+    _write_telemetry_files(args, tele)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -396,6 +460,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_execution_flags(p_sweep)
     _add_observability_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-injection study: uncorrectable error rate vs density",
+    )
+    p_faults.add_argument(
+        "--densities", type=float, nargs="+",
+        default=[0.0, 0.001, 0.004, 0.016, 0.064], metavar="D",
+        help="stuck-at line densities to sweep (fractions in [0, 1])",
+    )
+    p_faults.add_argument("--workload", default="mcf", choices=workload_names())
+    p_faults.add_argument("--scheme", default="Hybrid")
+    p_faults.add_argument("--requests", type=_positive_int, default=6_000,
+                          help="target total memory requests per density")
+    p_faults.add_argument("--seed", type=int, default=42,
+                          help="trace/policy seed")
+    p_faults.add_argument("--read-noise", type=float, default=0.002,
+                          help="per-read transient bit-flip probability")
+    p_faults.add_argument("--write-fail", type=float, default=0.01,
+                          help="per-write residual-error probability")
+    p_faults.add_argument("--fault-seed", type=int, default=0,
+                          help="extra salt for the fault schedule")
+    p_faults.add_argument("--output", default=None, metavar="FILE",
+                          help="also write the study as JSON "
+                               "('-' prints JSON to stdout)")
+    _add_sweep_execution_flags(p_faults)
+    _add_observability_flags(p_faults)
+    p_faults.set_defaults(func=_cmd_faults)
     return parser
 
 

@@ -15,6 +15,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+#: BCH-8 correction/detection split (Section III-B); canonical home is
+#: :mod:`repro.ecc.regimes`, re-exported here for the policy layer.
+from ...ecc.regimes import CORRECTABLE_ERRORS, DETECTABLE_ERRORS
 from ...memsim.config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
 from ...memsim.policy import ReadDecision, ReadMode, ScrubDecision, WriteDecision
 from ...traces.spec import WorkloadProfile
@@ -36,10 +39,6 @@ __all__ = [
 #: Default scrub intervals chosen in the paper's Section III-A analysis.
 R_SCRUB_INTERVAL_S = 8.0
 M_SCRUB_INTERVAL_S = 640.0
-
-#: BCH-8 correction/detection split (Section III-B).
-CORRECTABLE_ERRORS = 8
-DETECTABLE_ERRORS = 17
 
 #: Data cells per 64B line.
 DATA_CELLS = 256

@@ -3,11 +3,19 @@
 * :mod:`repro.ecc.gf` — finite-field arithmetic with exp/log tables.
 * :mod:`repro.ecc.bch` — the shortened (592, 512) BCH-8 line code with
   decoupled detection/correction, plus arbitrary (t, k) construction.
+* :mod:`repro.ecc.regimes` — the shared corrected / detected-uncorrectable
+  / silent three-way split of error counts (and its thresholds).
 * :mod:`repro.ecc.secded` — the TLC baseline's per-word SECDED.
 """
 
 from .bch import BCHCode, DecodeResult, DecodeStatus, bch8_for_line
 from .gf import GF2m, PRIMITIVE_POLYS, get_field
+from .regimes import (
+    CORRECTABLE_ERRORS,
+    DETECTABLE_ERRORS,
+    ErrorRegime,
+    classify_error_count,
+)
 from .secded import Secded7264, SecdedResult, SecdedStatus
 
 __all__ = [
@@ -15,6 +23,10 @@ __all__ = [
     "DecodeResult",
     "DecodeStatus",
     "bch8_for_line",
+    "CORRECTABLE_ERRORS",
+    "DETECTABLE_ERRORS",
+    "ErrorRegime",
+    "classify_error_count",
     "GF2m",
     "PRIMITIVE_POLYS",
     "get_field",

@@ -25,6 +25,7 @@ from .extras import (
     scrub_interval_sensitivity,
     scrub_interval_specs,
 )
+from .faults import fault_density_specs, fault_density_study
 from .figures._sweep import sweep_specs
 from .report import ExperimentResult, geometric_mean
 from .runner import ALL_SCHEMES, SweepSettings, clear_sweep_cache, run_sweep
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-conversion-throttle": ablation_conversion_throttle,
     "ablation-write-truncation": ablation_write_truncation,
     "extra-bch-detection": bch_detection_study,
+    "extra-fault-density": fault_density_study,
     "extra-scrub-interval": scrub_interval_sensitivity,
     "extra-precise-write": precise_write_comparison,
     "extra-mc-validation": montecarlo_validation,
@@ -86,6 +88,7 @@ EXPERIMENT_SPECS: Dict[str, Callable[..., Tuple[SimSpec, ...]]] = {
     **{experiment_id: sweep_specs for experiment_id in SWEEP_EXPERIMENTS},
     "ablation-scrub-contention": scrub_contention_specs,
     "ablation-write-cancellation": write_cancellation_specs,
+    "extra-fault-density": fault_density_specs,
     "extra-scrub-interval": scrub_interval_specs,
 }
 

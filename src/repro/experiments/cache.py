@@ -63,6 +63,20 @@ def default_cache_dir() -> Path:
     return Path("results") / ".sweep-cache"
 
 
+def _remove_cache_files(directory: Path) -> int:
+    """Delete cache entries (and quarantined ``.bad`` files) in a directory."""
+    removed = 0
+    if directory.is_dir():
+        for pattern in ("*.json", "*.json.bad"):
+            for entry in directory.glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+    return removed
+
+
 def settings_key(settings: "SweepSettings") -> str:
     """Content hash identifying a sweep's full configuration.
 
@@ -90,12 +104,16 @@ class CacheCounters:
         misses: Runs that had to be simulated.
         stale: Unusable cache files encountered.
         stores: Grids written back to disk.
+        quarantined: Unusable granular files renamed aside (``.bad``) so
+            they cannot be retried and can be inspected post-mortem;
+            every quarantine is also a stale (and missed) load.
     """
 
     hits: int = 0
     misses: int = 0
     stale: int = 0
     stores: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -103,6 +121,7 @@ class CacheCounters:
             "misses": self.misses,
             "stale": self.stale,
             "stores": self.stores,
+            "quarantined": self.quarantined,
         }
 
 
@@ -218,19 +237,15 @@ class SweepCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached sweep; returns the number of files removed.
+        """Delete every cached result under this root; returns files removed.
 
-        Only whole-sweep entries are removed; the granular per-run store
-        beside them (``runs/``) is managed by :meth:`RunCache.clear`.
+        Covers both the whole-sweep entries in the root *and* the
+        granular per-run store beside them (``runs/``, including
+        quarantined ``.bad`` files) — "clear the cache" must not leave
+        run-level entries behind to silently satisfy the next plan.
         """
-        removed = 0
-        if self.cache_dir.is_dir():
-            for entry in self.cache_dir.glob("*.json"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        removed = _remove_cache_files(self.cache_dir)
+        removed += RunCache(self.cache_dir).clear()
         return removed
 
 
@@ -264,8 +279,42 @@ class RunCache:
         """The file one run's statistics live in."""
         return self.cache_dir / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move an unusable entry aside as ``<name>.bad`` and count it.
+
+        Renaming (rather than deleting) keeps the evidence for
+        post-mortems while guaranteeing the broken file is never parsed
+        again — the next store recreates the entry cleanly. A rename
+        race (another process already quarantined or replaced the file)
+        is benign and ignored.
+        """
+        self.counters.stale += 1
+        self.counters.misses += 1
+        self.counters.quarantined += 1
+        target = path.with_name(path.name + ".bad")
+        try:
+            os.replace(path, target)
+        except OSError:
+            _log.warning(
+                "%s run cache entry %s; could not quarantine, re-simulating",
+                reason, path,
+            )
+            return
+        _log.warning(
+            "%s run cache entry %s; quarantined to %s, re-simulating",
+            reason, path, target.name,
+        )
+
     def load(self, key: str) -> Optional[RunStats]:
-        """Return the cached statistics for one run hash, or None."""
+        """Return the cached statistics for one run hash, or None.
+
+        Unusable entries — truncated or garbage JSON, an incompatible
+        layout, or a payload whose recorded key disagrees with its file
+        name (e.g. a file copied to the wrong hash) — are *quarantined*:
+        renamed to ``<name>.bad`` and counted, never raised. The caller
+        simply re-simulates, and the subsequent store writes a fresh
+        entry.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -274,18 +323,19 @@ class RunCache:
             self.counters.misses += 1
             return None
         except (OSError, ValueError):
-            self.counters.stale += 1
-            self.counters.misses += 1
-            _log.warning("unreadable run cache entry %s; re-simulating", path)
+            self._quarantine(path, "unreadable")
             return None
         try:
             if payload["format"] != _RUN_FORMAT:
                 raise KeyError("format")
+            # Entries written before the key was recorded stay valid
+            # (missing key defaults to a match).
+            if payload.get("key", key) != key:
+                self._quarantine(path, "mismatched-key")
+                return None
             stats = RunStats.from_dict(payload["stats"])
         except (KeyError, TypeError):
-            self.counters.stale += 1
-            self.counters.misses += 1
-            _log.warning("stale run cache entry %s; re-simulating", path)
+            self._quarantine(path, "stale")
             return None
         self.counters.hits += 1
         return stats
@@ -297,6 +347,7 @@ class RunCache:
         payload = {
             "format": _RUN_FORMAT,
             "version": __version__,
+            "key": key,
             "workload": stats.workload,
             "scheme": stats.scheme,
             # No sort_keys, as in SweepCache.store: insertion order keeps
@@ -311,13 +362,5 @@ class RunCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached run; returns the number of files removed."""
-        removed = 0
-        if self.cache_dir.is_dir():
-            for entry in self.cache_dir.glob("*.json"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-        return removed
+        """Delete every cached run (quarantined files included)."""
+        return _remove_cache_files(self.cache_dir)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import (
     TYPE_CHECKING,
     Deque,
@@ -102,12 +103,18 @@ def simulate_unit(
     Also the planner's serial inner step, so the serial and parallel
     paths share one code path and cannot diverge. The trace comes from
     the process-local :class:`TraceMemo`; the policy is built fresh per
-    unit exactly as the serial runner always did.
+    unit exactly as the serial runner always did. Fault injection, when
+    the spec enables it, is keyed by the unit's run hash — identical
+    whether this worker was handed the full sweep spec or a sub-spec —
+    so fault schedules never depend on how work was partitioned.
     """
     profile = workload(workload_name)
     trace = _TRACE_MEMO.trace_for(spec, workload_name)
     policy = spec.make_policy(scheme, profile)
-    return simulate(trace, policy, spec.config, epoch_s=spec.epoch_s)
+    faults = spec.fault_injector(workload_name, scheme)
+    return simulate(
+        trace, policy, spec.config, epoch_s=spec.epoch_s, faults=faults
+    )
 
 
 def simulate_batch(
@@ -138,6 +145,7 @@ def run_units_parallel(
     units: Sequence["RunUnit"],
     jobs: int,
     telemetry: Optional[Telemetry] = None,
+    max_retries: int = 2,
 ) -> Dict[str, RunStats]:
     """Execute run units on a sticky work-stealing process pool.
 
@@ -149,6 +157,16 @@ def run_units_parallel(
     Exactly one unit is in flight per worker, which is what makes the
     completion-to-resubmission affinity stick.
 
+    Resilience: a worker-process death (OOM kill, segfault, ``SIGKILL``)
+    breaks the whole :class:`ProcessPoolExecutor`, not just its unit.
+    Instead of surfacing :class:`BrokenProcessPool`, the executor
+    requeues every unit that was in flight in the dead pool, builds a
+    fresh pool, and continues — results already collected are kept, and
+    determinism is unaffected because every run's outcome is a pure
+    function of its spec. A unit that was in flight across
+    ``max_retries + 1`` pool deaths raises ``RuntimeError`` (it is
+    plausibly what keeps killing workers).
+
     Progress is logged (INFO, stderr) per unit; when ``telemetry``
     carries a tracer, every unit emits a ``run_unit`` record. Completion
     order only affects reporting — results are keyed by unit hash, so
@@ -159,6 +177,8 @@ def run_units_parallel(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
     units = list(units)
     if not units:
         return {}
@@ -178,49 +198,86 @@ def run_units_parallel(
             del queues[name]
         return unit
 
-    max_workers = min(jobs, len(units))
     tracer = telemetry.tracer if telemetry is not None else None
     results: Dict[str, RunStats] = {}
+    attempts: Dict[str, int] = {}
     start = time.perf_counter()
     done_count = 0
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    while len(results) < len(units):
+        remaining = len(units) - len(results)
+        max_workers = min(jobs, remaining)
         in_flight: Dict[object, "RunUnit"] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
 
-        def submit(unit: "RunUnit") -> None:
-            future = pool.submit(_timed_unit, unit.spec, unit.workload, unit.scheme)
-            in_flight[future] = unit
+                def submit(unit: "RunUnit") -> None:
+                    future = pool.submit(
+                        _timed_unit, unit.spec, unit.workload, unit.scheme
+                    )
+                    in_flight[future] = unit
 
-        # Prime one unit per worker, round-robin over distinct workloads
-        # so each worker's first trace generation seeds its affinity.
-        names = list(queues)
-        slot = 0
-        while len(in_flight) < max_workers and queues:
-            prefer = names[slot % len(names)]
-            slot += 1
-            if prefer not in queues:
-                continue
-            submit(take(prefer))
-        while in_flight:
-            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-            for future in finished:
-                unit = in_flight.pop(future)
-                elapsed, stats = future.result()
-                results[unit.key] = stats
-                done_count += 1
-                _log.info(
-                    "run unit %d/%d: %s/%s in %.2fs (worker)",
-                    done_count, len(units), unit.workload, unit.scheme, elapsed,
-                )
-                if tracer is not None:
-                    tracer.emit({
-                        "kind": "run_unit",
-                        "workload": unit.workload,
-                        "scheme": unit.scheme,
-                        "seconds": elapsed,
-                        "start_s": time.perf_counter() - start - elapsed,
-                    })
-                if queues:
-                    submit(take(prefer=unit.workload))
+                # Prime one unit per worker, round-robin over distinct
+                # workloads so each worker's first trace generation seeds
+                # its affinity.
+                names = list(queues)
+                slot = 0
+                while len(in_flight) < max_workers and queues:
+                    prefer = names[slot % len(names)]
+                    slot += 1
+                    if prefer not in queues:
+                        continue
+                    submit(take(prefer))
+                while in_flight:
+                    finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        unit = in_flight.pop(future)
+                        try:
+                            elapsed, stats = future.result()
+                        except BrokenProcessPool:
+                            # Keep the unit counted as in flight so the
+                            # recovery path below requeues it too.
+                            in_flight[future] = unit
+                            raise
+                        results[unit.key] = stats
+                        done_count += 1
+                        _log.info(
+                            "run unit %d/%d: %s/%s in %.2fs (worker)",
+                            done_count, len(units),
+                            unit.workload, unit.scheme, elapsed,
+                        )
+                        if tracer is not None:
+                            tracer.emit({
+                                "kind": "run_unit",
+                                "workload": unit.workload,
+                                "scheme": unit.scheme,
+                                "seconds": elapsed,
+                                "start_s": time.perf_counter() - start - elapsed,
+                            })
+                        if queues:
+                            submit(take(prefer=unit.workload))
+        except BrokenProcessPool:
+            lost = [u for u in in_flight.values() if u.key not in results]
+            for unit in lost:
+                attempts[unit.key] = attempts.get(unit.key, 0) + 1
+                if attempts[unit.key] > max_retries:
+                    raise RuntimeError(
+                        f"run unit {unit.workload}/{unit.scheme} was in "
+                        f"flight across {attempts[unit.key]} worker-process "
+                        "deaths; giving up (it is likely what kills the "
+                        "workers — try --jobs 1 to run it in-process)"
+                    ) from None
+            _log.warning(
+                "worker process died; requeueing %d in-flight unit(s) on a "
+                "fresh pool", len(lost),
+            )
+            if tracer is not None:
+                tracer.emit({
+                    "kind": "pool_broken",
+                    "requeued": len(lost),
+                    "time_s": time.perf_counter() - start,
+                })
+            for unit in lost:
+                queues.setdefault(unit.workload, deque()).append(unit)
     return results
 
 

@@ -113,6 +113,8 @@ class PlanStats:
             (and re-stored granularly).
         units_simulated: Units actually executed.
         stale: Unreadable granular entries encountered (re-simulated).
+        quarantined: Unusable granular entries renamed aside (``.bad``)
+            by the run cache; a subset of ``stale``.
         schedule_wall_s: Planner overhead — wall time spent classifying,
             migrating, and storing, excluding the simulations themselves.
     """
@@ -124,6 +126,7 @@ class PlanStats:
     units_migrated: int = 0
     units_simulated: int = 0
     stale: int = 0
+    quarantined: int = 0
     schedule_wall_s: float = 0.0
 
     @property
@@ -141,6 +144,7 @@ class PlanStats:
             "units_disk": self.units_disk,
             "units_migrated": self.units_migrated,
             "stale": self.stale,
+            "quarantined": self.quarantined,
             "schedule_wall_s": self.schedule_wall_s,
         }
 
@@ -296,6 +300,7 @@ def execute_plan(
                 missing.append(unit)
         pending = missing
         stats.stale += run_cache.counters.stale
+        stats.quarantined += run_cache.counters.quarantined
 
     if cache is not None and pending:
         # Read-through migration: a legacy whole-sweep entry for any
@@ -367,6 +372,7 @@ def execute_plan(
         cache.counters.hits += stats.units_disk + stats.units_migrated
         cache.counters.misses += stats.units_simulated
         cache.counters.stale += stats.stale
+        cache.counters.quarantined += stats.quarantined
 
     if telemetry is not None and telemetry.metrics is not None:
         metrics = telemetry.metrics
@@ -374,4 +380,5 @@ def execute_plan(
         metrics.counter("plan.units_cached").inc(stats.units_cached)
         metrics.counter("plan.units_simulated").inc(stats.units_simulated)
         metrics.counter("plan.units_deduped").inc(stats.units_deduped)
+        metrics.counter("plan.cache.quarantined").inc(stats.quarantined)
     return results

@@ -30,7 +30,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from .. import __version__
 from ..core.policies import PolicyContext  # populates the scheme registry
@@ -40,6 +40,7 @@ from ..core.registry import (
     make_policy as _registry_make_policy,
     unknown_scheme_message,
 )
+from ..faults import FaultInjector, FaultSpec, FaultSpecError
 from ..memsim.config import DEFAULT_EPOCH_S, MemoryConfig
 from ..pcm.params import EnergyParams, TimingParams
 from ..traces.generator import generate_trace
@@ -131,6 +132,11 @@ class SimSpec:
         config: Memory-system configuration (accepts a mapping of
             overrides, coerced via the lossless dict form).
         epoch_s: Absolute simulation start time.
+        faults: Optional :class:`~repro.faults.FaultSpec` (accepts a
+            mapping). ``None`` — and any all-zero-rate spec, which is
+            normalized to ``None`` — means no fault injection, and the
+            spec hashes exactly as it did before faults existed, so
+            fault-free warm caches stay valid.
     """
 
     schemes: Tuple[str, ...] = ALL_SCHEMES
@@ -139,6 +145,7 @@ class SimSpec:
     seed: int = 42
     config: MemoryConfig = field(default_factory=MemoryConfig)
     epoch_s: float = DEFAULT_EPOCH_S
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         schemes = tuple(canonical_scheme_name(str(s)) for s in self.schemes)
@@ -175,6 +182,19 @@ class SimSpec:
         if not math.isfinite(epoch):
             raise SpecError("epoch_s must be finite")
         object.__setattr__(self, "epoch_s", epoch)
+        faults = self.faults
+        if isinstance(faults, Mapping):
+            try:
+                faults = FaultSpec.from_dict(faults)
+            except FaultSpecError as exc:
+                raise SpecError(f"invalid faults: {exc}") from exc
+        elif faults is not None and not isinstance(faults, FaultSpec):
+            raise SpecError("faults must be a FaultSpec, a mapping, or None")
+        if faults is not None and not faults.enabled:
+            # All-zero rates cannot inject anything; normalizing to None
+            # keeps "no faults" a single value with a single hash.
+            faults = None
+        object.__setattr__(self, "faults", faults)
 
     # ------------------------------------------------------------ derivations
 
@@ -189,8 +209,13 @@ class SimSpec:
     # -------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, Any]:
-        """Lossless dict form; :meth:`from_dict` is the exact inverse."""
-        return {
+        """Lossless dict form; :meth:`from_dict` is the exact inverse.
+
+        The ``faults`` key appears only when fault injection is enabled,
+        so fault-free specs serialize exactly as before the subsystem
+        existed.
+        """
+        payload: Dict[str, Any] = {
             "schemes": list(self.schemes),
             "workloads": list(self.workloads),
             "target_requests": self.target_requests,
@@ -198,6 +223,9 @@ class SimSpec:
             "epoch_s": self.epoch_s,
             "config": dataclasses.asdict(self.config),
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimSpec":
@@ -267,7 +295,11 @@ class SimSpec:
         Covers schemes (canonical), *effective* workloads (an explicit
         list and the all-workloads default that expands to it hash
         identically), target_requests, seed, epoch, every nested
-        :class:`MemoryConfig` field, and the package version.
+        :class:`MemoryConfig` field, and the package version. An enabled
+        fault spec joins the identity under a ``"faults"`` key; a
+        fault-free spec hashes byte-identically to the pre-faults format
+        (no ``SPEC_HASH_FORMAT`` bump), so existing warm caches remain
+        valid.
         """
         identity = {
             "format": SPEC_HASH_FORMAT,
@@ -279,6 +311,8 @@ class SimSpec:
             "epoch_s": self.epoch_s,
             "config": dataclasses.asdict(self.config),
         }
+        if self.faults is not None:
+            identity["faults"] = self.faults.to_dict()
         blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -306,6 +340,24 @@ class SimSpec:
         return self.run_subspec(workload_name, scheme).content_hash()
 
     # ------------------------------------------------------------- execution
+
+    def fault_injector(self, workload_name: str, scheme: str) -> Optional[FaultInjector]:
+        """The fault injector for one (workload, scheme) run, or ``None``.
+
+        Keyed by :meth:`run_hash` — which is idempotent under
+        :meth:`run_subspec`, so a worker handed the full sweep spec and a
+        worker handed the sub-spec derive the *same* injector — plus the
+        platform bank count for per-line ``(run_hash, bank, line)``
+        seeding. A fresh injector is built per call: injectors carry
+        mutable per-line state that must not leak between runs.
+        """
+        if self.faults is None:
+            return None
+        return FaultInjector(
+            self.faults,
+            key=self.run_hash(workload_name, scheme),
+            num_banks=self.config.num_banks,
+        )
 
     def trace_for(self, workload_name: str):
         """Generate the (deterministic) trace this spec implies for a workload."""

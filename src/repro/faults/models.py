@@ -1,0 +1,189 @@
+"""Cell-level fault models: stuck-at wear-out, read noise, write failure.
+
+Three fault classes, each a *seeded generator* rather than a live random
+process, mirroring the error taxonomy of MLC memory characterization
+studies (read-disturb and retention analyses à la Cai et al.) applied to
+PCM endurance:
+
+* **Stuck-at cells** — endurance wear-out permanently pins cells; a
+  faulty line contributes the same hard bit-error count to *every* read
+  and no rewrite clears it. Whether a line is worn out, and how badly,
+  derives from a hash of ``(key, bank, line)``, so the stuck-cell map is
+  a pure function of the fault spec and the run identity.
+* **Transient read noise** — sensing occasionally misreads a cell; each
+  read of a line draws from the line's private PRNG stream, so the flip
+  schedule depends only on the per-line access order (deterministic in
+  the event-driven engine) and never on worker scheduling.
+* **Write failure** — an iterative P&V write can terminate with cells
+  outside their target band, leaving *residual* hard errors on the line
+  until the next successful rewrite (demand, conversion, or scrub).
+
+All randomness flows from :func:`line_fault_seed`, a SHA-256 over
+``(key, bank, line)`` where ``key`` is the run's content hash
+(:meth:`SimSpec.run_hash`): the same spec replayed under ``jobs ∈
+{1,2,4}``, from a warm cache, or in another process produces a
+bit-identical fault schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+__all__ = [
+    "FaultCounters",
+    "FaultSpec",
+    "FaultSpecError",
+    "line_fault_seed",
+]
+
+
+class FaultSpecError(ValueError):
+    """A fault specification is invalid (bad rate, count, or key)."""
+
+
+def line_fault_seed(key: str, bank: int, line: int) -> bytes:
+    """The 32-byte seed material for one line's fault draws.
+
+    A SHA-256 over ``(key, bank, line)``; ``key`` is the owning run's
+    content hash, so two runs differing in any simulation parameter get
+    independent fault maps while replays of the same run always agree.
+    """
+    material = f"{key}:{bank}:{line}".encode("utf-8")
+    return hashlib.sha256(material).digest()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault configuration; hashed into the run identity.
+
+    A spec with every rate at zero is *disabled* and is normalized away
+    by :class:`~repro.experiments.spec.SimSpec` (treated as "no faults"),
+    which keeps fault-free content hashes — and therefore existing warm
+    caches — byte-identical to a tree without fault injection.
+
+    Attributes:
+        stuck_line_rate: Probability that a line is wear-out-faulty
+            (carries permanently stuck cells).
+        stuck_cells_max: A faulty line carries 1..max stuck bit errors,
+            drawn uniformly from the line hash. The default spans the
+            BCH-8 regimes: some worn lines stay correctable, some land in
+            the 9–17 detect-beyond-correct range.
+        read_noise_rate: Per-read probability of one transient bit flip
+            at sensing time (disappears on re-read).
+        write_fail_rate: Per-write probability that the write leaves
+            residual bit errors on the line.
+        write_fail_cells_max: A failed write leaves 1..max residual
+            errors, cleared by the next successful write.
+        seed: Extra salt folded into every draw, for fault-schedule
+            ablations that hold the simulation parameters fixed.
+    """
+
+    stuck_line_rate: float = 0.0
+    stuck_cells_max: int = 12
+    read_noise_rate: float = 0.0
+    write_fail_rate: float = 0.0
+    write_fail_cells_max: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("stuck_line_rate", "read_noise_rate", "write_fail_rate"):
+            rate = getattr(self, name)
+            if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+                raise FaultSpecError(f"{name} must be a number")
+            rate = float(rate)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultSpecError(f"{name} must be in [0, 1], got {rate}")
+            object.__setattr__(self, name, rate)
+        for name in ("stuck_cells_max", "write_fail_cells_max"):
+            count = getattr(self, name)
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise FaultSpecError(f"{name} must be an int")
+            if count < 1:
+                raise FaultSpecError(f"{name} must be >= 1")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise FaultSpecError("seed must be an int")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class can actually fire."""
+        return (
+            self.stuck_line_rate > 0.0
+            or self.read_noise_rate > 0.0
+            or self.write_fail_rate > 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless dict form; :meth:`from_dict` is the exact inverse."""
+        return {
+            "stuck_line_rate": self.stuck_line_rate,
+            "stuck_cells_max": self.stuck_cells_max,
+            "read_noise_rate": self.read_noise_rate,
+            "write_fail_rate": self.write_fail_rate,
+            "write_fail_cells_max": self.write_fail_cells_max,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Build a spec from a mapping; unknown keys raise."""
+        if not isinstance(data, Mapping):
+            raise FaultSpecError("faults must be a mapping")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultSpecError(
+                f"unknown fault keys: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass
+class FaultCounters:
+    """Per-run fault accounting attached to :class:`RunStats`.
+
+    The engine fills these on its fault path only; a fault-free run keeps
+    every counter at zero and serializes without them, so cached results
+    and the pinned sweep digest are untouched by this subsystem.
+
+    Counter semantics — ``injected`` counts *bit errors* applied before
+    sensing; the other three partition *fault-affected demand reads* by
+    final architectural outcome:
+
+    Attributes:
+        injected: Fault bit errors injected ahead of sensing (stuck +
+            residual + transient, demand reads and scrub reads alike).
+        corrected: Fault-affected reads that still returned correct data
+            (within BCH-8 correction, possibly after the R-M retry).
+        detected_uncorrectable: Fault-affected reads that failed but were
+            detected (the decoder reported, nothing silent happened).
+        silent: Fault-affected reads pushed past the detection range —
+            wrong data returned without warning.
+    """
+
+    injected: int = 0
+    corrected: int = 0
+    detected_uncorrectable: int = 0
+    silent: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.injected
+            or self.corrected
+            or self.detected_uncorrectable
+            or self.silent
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "injected": self.injected,
+            "corrected": self.corrected,
+            "detected_uncorrectable": self.detected_uncorrectable,
+            "silent": self.silent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "FaultCounters":
+        return cls(**dict(data))

@@ -33,12 +33,15 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from dataclasses import replace
 from typing import Deque, List, Optional, Tuple
 
+from ..ecc.regimes import ErrorRegime, classify_error_count
+from ..faults.injector import FaultInjector
 from ..obs import Telemetry
 from ..traces.trace import OP_READ, Trace
 from .config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
-from .policy import ReadMode, SchemePolicy
+from .policy import ReadDecision, ReadMode, SchemePolicy
 from .stats import RunStats
 
 __all__ = ["MemorySystemSim", "simulate"]
@@ -116,6 +119,14 @@ class MemorySystemSim:
             trace events, fills the :class:`RunStats` latency/queue-depth
             histograms, and snapshots run counters into the registry.
             Telemetry never changes simulated behaviour — only observes.
+        faults: Optional :class:`~repro.faults.FaultInjector`. When
+            present, its hard (stuck / write-residue) and soft (read
+            noise) bit errors are added to each read's drift errors
+            *before* the read outcome — and therefore its latency mode —
+            is fixed, and every write is reported back so write-failure
+            residue tracks the line's rewrite history. When ``None``
+            (the default) the read path is byte-identical to a tree
+            without fault injection.
     """
 
     def __init__(
@@ -125,11 +136,13 @@ class MemorySystemSim:
         config: MemoryConfig = DEFAULT_MEMORY_CONFIG,
         epoch_s: float = DEFAULT_EPOCH_S,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.trace = trace
         self.policy = policy
         self.config = config
         self.epoch_s = epoch_s
+        self._faults = faults if (faults is not None and faults.spec.enabled) else None
         # Resolved once: self._tele is None unless something is live, so
         # hot-path guards are a single attribute test.
         if telemetry is not None and telemetry.enabled:
@@ -275,6 +288,18 @@ class MemorySystemSim:
             registry.counter("trace.dropped").inc(self._tracer.dropped)
         registry.adopt_histogram("sim.read_latency_ns", stats.read_latency_hist)
         registry.adopt_histogram("sim.queue_depth", stats.queue_depth_hist)
+        if self._faults is not None:
+            fc = stats.fault_counters
+            for name, value in (
+                ("sim.faults.injected", fc.injected),
+                ("sim.faults.corrected", fc.corrected),
+                ("sim.faults.detected_uncorrectable", fc.detected_uncorrectable),
+                ("sim.faults.silent", fc.silent),
+            ):
+                registry.counter(name).inc(value)
+            registry.gauge("sim.faults.lines_touched").set(
+                self._faults.lines_touched
+            )
 
     # ----------------------------------------------------------------- cores
 
@@ -299,6 +324,8 @@ class MemorySystemSim:
     ) -> None:
         """Apply a demand write in program order and retire the core op."""
         decision = self.policy.on_write(line, self._now_s(now))
+        if self._faults is not None:
+            self._faults.record_write(line)
         bank.write_q.append(("demand", line, decision))
         if decision.flag_update:
             self.stats.energy.add_flag_access(writes=True)
@@ -367,12 +394,16 @@ class MemorySystemSim:
             if self._tele is None:
                 core_id, line, enq = bank.read_q.popleft()
                 decision = self.policy.on_read(line, self._now_s(now))
+                if self._faults is not None:
+                    decision = self._fault_read(line, decision)
                 payload = (core_id, line, enq, decision)
             else:
                 # Telemetry payloads also carry the service start time and
                 # the queue depth observed at issue.
                 core_id, line, enq, depth = bank.read_q.popleft()
                 decision = self.policy.on_read(line, self._now_s(now))
+                if self._faults is not None:
+                    decision = self._fault_read(line, decision)
                 payload = (core_id, line, enq, decision, now, depth)
             latency = self._read_latency_ns[decision.mode]
             self._start_bank_job(bank, bank_id, _JOB_READ, payload, now, latency)
@@ -498,6 +529,8 @@ class MemorySystemSim:
             stats.uncorrectable_reads += 1
         if decision.convert_to_write:
             conv = self.policy.on_conversion_write(line, self._now_s(now))
+            if self._faults is not None:
+                self._faults.record_write(line)
             bank_id = line % self._num_banks
             bank = self._banks[bank_id]
             bank.write_q.append(("conversion", line, conv))
@@ -515,6 +548,100 @@ class MemorySystemSim:
             "conversion" if cause == "conversion" else "demand",
             decision.cells_written,
         )
+
+    # ---------------------------------------------------------------- faults
+
+    def _fault_read(self, line: int, decision: ReadDecision) -> ReadDecision:
+        """Fold injected bit errors into a demand read's outcome.
+
+        Hard errors (stuck cells, write-failure residue) survive the R-M
+        retry because re-sensing with the drift-robust M metric cannot fix
+        a physically broken cell; soft errors (this sensing's transient
+        noise) vanish on re-read. The combined count moves the read
+        through the BCH regimes exactly as drift errors do, so faults can
+        upgrade an R read into an R-M retry, push a retry into
+        detected-uncorrectable, or — past the detection bound — corrupt
+        data silently.
+        """
+        hard, soft = self._faults.read_errors(line)
+        extra = hard + soft
+        if extra == 0:
+            return decision
+        fc = self.stats.fault_counters
+        fc.injected += extra
+        if decision.silent_corruption:
+            # Drift already corrupted the read; faults cannot un-corrupt it.
+            fc.silent += 1
+            return decision
+        if decision.uncorrectable:
+            fc.detected_uncorrectable += 1
+            return decision
+        total = decision.errors_seen + extra
+        if decision.mode is ReadMode.RM:
+            # The policy already fell back to the M retry; drift and soft
+            # noise are gone there, only hard errors face the decoder.
+            regime = classify_error_count(hard)
+        elif decision.mode is ReadMode.M:
+            regime = classify_error_count(total)
+        else:
+            regime = classify_error_count(total)
+            if regime is ErrorRegime.DETECTED_UNCORRECTABLE:
+                # ReadDuo's trigger: the R read reports uncorrectable, the
+                # controller retries with the M metric. The retry clears
+                # drift and transient noise; hard errors remain.
+                retry = classify_error_count(hard)
+                if retry is ErrorRegime.CORRECTED:
+                    fc.corrected += 1
+                    return replace(decision, mode=ReadMode.RM, errors_seen=total)
+                if retry is ErrorRegime.DETECTED_UNCORRECTABLE:
+                    fc.detected_uncorrectable += 1
+                    return replace(
+                        decision,
+                        mode=ReadMode.RM,
+                        errors_seen=total,
+                        uncorrectable=True,
+                    )
+                fc.silent += 1
+                return replace(
+                    decision,
+                    mode=ReadMode.RM,
+                    errors_seen=total,
+                    silent_corruption=True,
+                )
+        if regime is ErrorRegime.CORRECTED:
+            fc.corrected += 1
+            return replace(decision, errors_seen=total)
+        if regime is ErrorRegime.DETECTED_UNCORRECTABLE:
+            fc.detected_uncorrectable += 1
+            return replace(decision, errors_seen=total, uncorrectable=True)
+        fc.silent += 1
+        return replace(decision, errors_seen=total, silent_corruption=True)
+
+    def _fault_scrub(self, line: int, decision):
+        """Fold injected bit errors into a scrub visit.
+
+        The bridge chip's BCH logic sees fault errors like drift errors:
+        any detectable damage on a line the policy was going to leave
+        alone forces a repair rewrite. Errors past the detection bound
+        are missed — the scrub silently "verifies" a broken line.
+        """
+        hard, soft = self._faults.read_errors(line)
+        extra = hard + soft
+        if extra == 0:
+            return decision
+        self.stats.fault_counters.injected += extra
+        total = decision.errors_seen + extra
+        if (
+            not decision.rewrite
+            and classify_error_count(total) is not ErrorRegime.SILENT
+        ):
+            return replace(
+                decision,
+                rewrite=True,
+                cells_written=self.config.cells_per_line_write,
+                errors_seen=total,
+            )
+        return replace(decision, errors_seen=total)
 
     def _account_scrub(self, decision) -> None:
         self.stats.energy.add_read(decision.metric, category="scrub_read")
@@ -537,6 +664,10 @@ class MemorySystemSim:
             line = self._scrub_pointer
             self._scrub_pointer = (self._scrub_pointer + 1) % self.config.total_lines
             decision = self.policy.on_scrub(line, now_s)
+            if self._faults is not None:
+                decision = self._fault_scrub(line, decision)
+                if decision.rewrite:
+                    self._faults.record_write(line)
             decisions.append(decision)
             if decision.rewrite:
                 duration += timing.write_ns
@@ -592,8 +723,9 @@ def simulate(
     config: MemoryConfig = DEFAULT_MEMORY_CONFIG,
     epoch_s: float = DEFAULT_EPOCH_S,
     telemetry: Optional[Telemetry] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> RunStats:
     """Convenience wrapper: build a sim, run it, return the stats."""
     return MemorySystemSim(
-        trace, policy, config, epoch_s=epoch_s, telemetry=telemetry
+        trace, policy, config, epoch_s=epoch_s, telemetry=telemetry, faults=faults
     ).run()

@@ -6,6 +6,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
+from ..faults.models import FaultCounters
 from ..obs.metrics import (
     QUEUE_DEPTH_BUCKETS,
     READ_LATENCY_BUCKETS_NS,
@@ -56,6 +57,12 @@ class RunStats:
             or compared results.
         queue_depth_hist: Bank read-queue depth seen by each arriving
             read; same telemetry-only, compare-excluded treatment.
+        fault_counters: Injected-fault accounting (``repro.faults``).
+            Excluded from equality like the telemetry histograms, and
+            serialized only when nonzero, so fault-free runs — and the
+            pinned sweep digest — are byte-identical to a tree without
+            fault injection while fault-enabled runs round-trip their
+            counters through the cache.
     """
 
     scheme: str
@@ -80,6 +87,9 @@ class RunStats:
     )
     queue_depth_hist: Histogram = field(
         default_factory=_queue_depth_histogram, compare=False, repr=False
+    )
+    fault_counters: FaultCounters = field(
+        default_factory=FaultCounters, compare=False, repr=False
     )
 
     @property
@@ -115,9 +125,11 @@ class RunStats:
         shortest-roundtrip reprs), so a reloaded run compares equal to the
         original on every metric. The telemetry histograms are deliberately
         excluded: cache payloads and cross-run comparisons must not depend
-        on whether a run was traced.
+        on whether a run was traced. Fault counters appear under a
+        ``"faults"`` key only when any of them is nonzero, keeping
+        fault-free payloads (and the pinned sweep digest) unchanged.
         """
-        return {
+        payload: Dict[str, Any] = {
             "scheme": self.scheme,
             "workload": self.workload,
             "execution_time_ns": self.execution_time_ns,
@@ -143,6 +155,9 @@ class RunStats:
                 "by_cause": dict(self.wear.by_cause),
             },
         }
+        if self.fault_counters:
+            payload["faults"] = self.fault_counters.as_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunStats":
@@ -156,6 +171,7 @@ class RunStats:
             cells_per_line=data["wear"]["cells_per_line"],
             by_cause=dict(data["wear"]["by_cause"]),
         )
+        faults = FaultCounters.from_dict(data.get("faults", {}))
         return cls(
             scheme=data["scheme"],
             workload=data["workload"],
@@ -174,6 +190,7 @@ class RunStats:
             total_read_latency_ns=data["total_read_latency_ns"],
             energy=energy,
             wear=wear,
+            fault_counters=faults,
         )
 
     def summary(self) -> Dict[str, float]:

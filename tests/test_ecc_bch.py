@@ -137,6 +137,39 @@ class TestDecode:
         assert result.ok
         assert (result.data_bits == data).all()
 
+    @given(
+        seed=st.integers(0, 2**16),
+        errors=st.integers(9, 17),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_detection_property_line_code(self, line_code, seed, errors):
+        # The full ReadDuo guarantee on the (592, 512) line code: 9..17
+        # errors are always detected-uncorrectable — a silent miscorrect
+        # anywhere in this range would break the R-M retry trigger and
+        # the Hybrid scheme's correctness argument. (The t=2 small code
+        # has no such window — its minimum distance is too small — so
+        # this property is exercised on the real line code only.)
+        local = np.random.default_rng(seed)
+        data = local.integers(0, 2, line_code.k).astype(np.uint8)
+        cw = line_code.encode(data)
+        positions = local.choice(line_code.n, errors, replace=False)
+        result = line_code.decode(_flip(cw, positions))
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+        assert not result.ok
+
+    @given(seed=st.integers(0, 2**16), errors=st.integers(9, 17))
+    @settings(max_examples=20, deadline=None)
+    def test_detected_uncorrectable_returns_no_data(self, line_code, seed, errors):
+        # A detected-uncorrectable decode must not leak a (necessarily
+        # wrong) data payload for callers to use by accident.
+        local = np.random.default_rng(seed)
+        data = local.integers(0, 2, line_code.k).astype(np.uint8)
+        cw = line_code.encode(data)
+        positions = local.choice(line_code.n, errors, replace=False)
+        result = line_code.decode(_flip(cw, positions))
+        assert result.data_bits is None
+        assert result.errors_corrected == 0
+
 
 class TestExtractData:
     def test_extract(self, small_code, rng):

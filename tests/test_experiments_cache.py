@@ -138,7 +138,10 @@ class TestRoundTrip:
     def test_clear_removes_entries(self, tmp_path):
         cache = SweepCache(tmp_path)
         run_sweep(SMALL, jobs=1, cache=cache)
-        assert cache.clear() == 1
+        # One whole-sweep file plus one granular entry per run: clear()
+        # covers both stores and reports the combined count.
+        n_runs = len(SMALL.schemes) * len(SMALL.workloads)
+        assert cache.clear() == 1 + n_runs
         assert cache.load(SMALL) is None
 
     def test_stored_payload_is_json(self, tmp_path):
@@ -158,6 +161,7 @@ class TestCacheCounters:
         run_sweep(SMALL, jobs=1, cache=cache)
         assert cache.counters.as_dict() == {
             "hits": 0, "misses": self.N_RUNS, "stale": 0, "stores": 1,
+            "quarantined": 0,
         }
 
     def test_warm_rerun_reports_all_hits(self, tmp_path):

@@ -1,0 +1,224 @@
+"""Unit + property tests for the fault models and the per-run injector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.regimes import (
+    CORRECTABLE_ERRORS,
+    DETECTABLE_ERRORS,
+    ErrorRegime,
+    classify_error_count,
+)
+from repro.faults import (
+    FaultCounters,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    line_fault_seed,
+)
+
+ENABLED = FaultSpec(
+    stuck_line_rate=0.05, read_noise_rate=0.2, write_fail_rate=0.3, seed=7
+)
+
+
+class TestFaultSpec:
+    def test_defaults_are_disabled(self):
+        assert not FaultSpec().enabled
+
+    @pytest.mark.parametrize(
+        "field", ["stuck_line_rate", "read_noise_rate", "write_fail_rate"]
+    )
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, "0.5", True, None])
+    def test_rejects_bad_rates(self, field, bad):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(**{field: bad})
+
+    @pytest.mark.parametrize("field", ["stuck_cells_max", "write_fail_cells_max"])
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_rejects_bad_counts(self, field, bad):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(**{field: bad})
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_rejects_bad_seed(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(seed=bad)
+
+    def test_integer_rates_coerce_to_float(self):
+        spec = FaultSpec(read_noise_rate=1)
+        assert spec.read_noise_rate == 1.0
+        assert isinstance(spec.read_noise_rate, float)
+
+    @pytest.mark.parametrize(
+        "field", ["stuck_line_rate", "read_noise_rate", "write_fail_rate"]
+    )
+    def test_any_positive_rate_enables(self, field):
+        assert FaultSpec(**{field: 0.01}).enabled
+
+    def test_roundtrip_through_dict(self):
+        assert FaultSpec.from_dict(ENABLED.to_dict()) == ENABLED
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultSpecError, match="unknown fault keys"):
+            FaultSpec.from_dict({"stuck_rate": 0.1})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec.from_dict([0.1])
+
+
+class TestFaultCounters:
+    def test_zero_counters_are_falsy(self):
+        assert not FaultCounters()
+
+    @pytest.mark.parametrize(
+        "field", ["injected", "corrected", "detected_uncorrectable", "silent"]
+    )
+    def test_any_nonzero_counter_is_truthy(self, field):
+        assert FaultCounters(**{field: 1})
+
+    def test_roundtrip_through_dict(self):
+        fc = FaultCounters(injected=5, corrected=2, detected_uncorrectable=1)
+        assert FaultCounters.from_dict(fc.as_dict()) == fc
+
+
+class TestLineFaultSeed:
+    def test_is_32_bytes_and_stable(self):
+        assert line_fault_seed("k", 0, 17) == line_fault_seed("k", 0, 17)
+        assert len(line_fault_seed("k", 0, 17)) == 32
+
+    @given(
+        bank=st.integers(0, 7),
+        line=st.integers(0, 2**20),
+        other=st.integers(0, 2**20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_lines_get_distinct_seeds(self, bank, line, other):
+        if line != other:
+            assert line_fault_seed("k", bank, line) != line_fault_seed(
+                "k", bank, other
+            )
+
+    def test_key_and_bank_are_part_of_the_seed(self):
+        base = line_fault_seed("k", 0, 17)
+        assert line_fault_seed("other", 0, 17) != base
+        assert line_fault_seed("k", 1, 17) != base
+
+
+def _schedule(injector, lines=range(64), reads=3):
+    """A flattened fault-event trace: reads then a write, per line."""
+    events = []
+    for line in lines:
+        for _ in range(reads):
+            events.append(injector.read_errors(line))
+        events.append(injector.record_write(line))
+    return events
+
+
+class TestFaultInjector:
+    def test_rejects_bad_bank_count(self):
+        with pytest.raises(ValueError):
+            FaultInjector(ENABLED, key="k", num_banks=0)
+
+    def test_same_spec_and_key_replay_identically(self):
+        a = FaultInjector(ENABLED, key="run", num_banks=4)
+        b = FaultInjector(ENABLED, key="run", num_banks=4)
+        assert _schedule(a) == _schedule(b)
+
+    def test_different_key_changes_the_schedule(self):
+        a = FaultInjector(ENABLED, key="run", num_banks=4)
+        b = FaultInjector(ENABLED, key="other-run", num_banks=4)
+        assert _schedule(a) != _schedule(b)
+
+    def test_fault_seed_changes_the_schedule(self):
+        import dataclasses
+
+        a = FaultInjector(ENABLED, key="run", num_banks=4)
+        reseeded = dataclasses.replace(ENABLED, seed=ENABLED.seed + 1)
+        b = FaultInjector(reseeded, key="run", num_banks=4)
+        assert _schedule(a) != _schedule(b)
+
+    def test_stuck_counts_stay_in_bounds(self):
+        spec = FaultSpec(stuck_line_rate=1.0, stuck_cells_max=5)
+        injector = FaultInjector(spec, key="k", num_banks=4)
+        counts = {injector.line_state(line).stuck for line in range(256)}
+        assert counts <= set(range(1, 6))
+        assert len(counts) > 1  # the count draw actually varies
+
+    def test_stuck_cells_persist_across_reads_and_writes(self):
+        spec = FaultSpec(stuck_line_rate=1.0, stuck_cells_max=3)
+        injector = FaultInjector(spec, key="k", num_banks=4)
+        hard0, _ = injector.read_errors(0)
+        injector.record_write(0)
+        hard1, _ = injector.read_errors(0)
+        assert hard0 == hard1 == injector.line_state(0).stuck > 0
+
+    def test_failed_write_leaves_residual_until_next_write(self):
+        spec = FaultSpec(write_fail_rate=1.0, write_fail_cells_max=2)
+        injector = FaultInjector(spec, key="k", num_banks=4)
+        residual = injector.record_write(0)
+        assert 1 <= residual <= 2
+        hard, _ = injector.read_errors(0)
+        assert hard == residual  # persists across reads
+        # Every write first clears the previous residue; with the rate
+        # pinned at 1.0 the new draw replaces it rather than stacking.
+        assert injector.record_write(0) <= 2
+
+    def test_successful_write_clears_residual(self):
+        injector = FaultInjector(FaultSpec(), key="k", num_banks=4)
+        injector.line_state(0).residual = 3
+        assert injector.read_errors(0) == (3, 0)
+        assert injector.record_write(0) == 0
+        assert injector.read_errors(0) == (0, 0)
+
+    def test_read_noise_is_transient(self):
+        spec = FaultSpec(read_noise_rate=1.0)
+        injector = FaultInjector(spec, key="k", num_banks=4)
+        hard, soft = injector.read_errors(0)
+        assert (hard, soft) == (0, 1)
+
+    def test_stuck_line_rate_is_roughly_honored(self):
+        spec = FaultSpec(stuck_line_rate=0.25)
+        injector = FaultInjector(spec, key="k", num_banks=4)
+        faulty = sum(
+            1 for line in range(2000) if injector.line_state(line).stuck
+        )
+        assert 0.15 < faulty / 2000 < 0.35
+
+    def test_lines_touched_counts_materialized_state(self):
+        injector = FaultInjector(ENABLED, key="k", num_banks=4)
+        assert injector.lines_touched == 0
+        injector.read_errors(3)
+        injector.read_errors(3)
+        injector.read_errors(9)
+        assert injector.lines_touched == 2
+
+
+class TestErrorRegimes:
+    @given(errors=st.integers(0, CORRECTABLE_ERRORS))
+    @settings(max_examples=20, deadline=None)
+    def test_correctable_range(self, errors):
+        assert classify_error_count(errors) is ErrorRegime.CORRECTED
+
+    @given(errors=st.integers(CORRECTABLE_ERRORS + 1, DETECTABLE_ERRORS))
+    @settings(max_examples=20, deadline=None)
+    def test_detectable_range(self, errors):
+        regime = classify_error_count(errors)
+        assert regime is ErrorRegime.DETECTED_UNCORRECTABLE
+
+    @given(errors=st.integers(DETECTABLE_ERRORS + 1, 592))
+    @settings(max_examples=20, deadline=None)
+    def test_silent_range(self, errors):
+        assert classify_error_count(errors) is ErrorRegime.SILENT
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            classify_error_count(-1)
+
+    def test_custom_thresholds(self):
+        assert (
+            classify_error_count(3, correctable=2, detectable=5)
+            is ErrorRegime.DETECTED_UNCORRECTABLE
+        )
