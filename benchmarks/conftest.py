@@ -41,22 +41,12 @@ def results_dir() -> Path:
 def bench_meta() -> dict:
     """Run metadata recorded alongside benchmark numbers.
 
-    Throughput figures are only comparable across commits when the
-    machine and configuration match; this block makes the context of a
-    recorded number auditable.
+    Delegates to :func:`repro.experiments.bench.bench_meta` so this
+    harness and ``readduo bench`` record identical context blocks.
     """
-    import platform
+    from repro.experiments.bench import bench_meta as shared_bench_meta
 
-    from repro import __version__
-
-    return {
-        "package_version": __version__,
-        "python_version": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        "bench_requests": BENCH_REQUESTS,
-        "bench_jobs": BENCH_JOBS,
-        "bench_jobs_env": os.environ.get("READDUO_BENCH_JOBS"),
-    }
+    return shared_bench_meta(BENCH_REQUESTS, BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")

@@ -2,11 +2,13 @@
 
 Times three executions of the same reduced grid — serial, process-parallel
 (``READDUO_BENCH_JOBS`` workers), and a warm-persistent-cache reload — plus
-one paper-scale single engine run, and records everything to
+the shared engine scenarios from :mod:`repro.experiments.bench` (the same
+code path ``readduo bench`` runs), and records everything to
 ``results/BENCH_sweep.json``. The JSON carries the engine's
 requests-per-second so single-run speedups can be compared across
 commits; the pre-optimization engine (PR 1 baseline) measured ~34k
-requests/s on the reference container for the mcf/Hybrid scenario below.
+requests/s on the reference container for the mcf/Hybrid scenario, and
+the pre-batch-kernel event engine (PR 5) ~57k.
 
 The grid here is a representative slice (3 workloads x 4 schemes) at a
 fifth of the shared-sweep scale, so the serial/parallel pair stays cheap
@@ -20,6 +22,13 @@ import os
 import time
 
 from conftest import BENCH_JOBS, BENCH_REQUESTS, bench_meta
+
+from repro.experiments.bench import (
+    bench_batch_kernel,
+    bench_single_run,
+    bench_telemetry_overhead,
+    merge_into_bench_json,
+)
 
 BENCH_WORKLOADS = ("mcf", "gcc", "sphinx3")
 BENCH_SCHEMES = ("Ideal", "Scrubbing", "Hybrid", "LWT-4")
@@ -52,107 +61,59 @@ def _time(fn):
 
 def test_engine_single_run_throughput(results_dir):
     """One paper-scale run; records engine requests/s for cross-commit diffs."""
-    from repro.core.schemes import PolicyContext, make_policy
-    from repro.memsim.config import MemoryConfig
-    from repro.memsim.engine import simulate
-    from repro.traces.generator import generate_trace
-    from repro.traces.spec import instructions_for_requests, workload
-
-    config = MemoryConfig()
-    profile = workload("mcf")
-    instructions = instructions_for_requests(profile, BENCH_REQUESTS, config.num_cores)
-    trace = generate_trace(
-        profile,
-        instructions_per_core=instructions,
-        num_cores=config.num_cores,
-        seed=42,
-    )
-
-    def one_run():
-        policy = make_policy(
-            "Hybrid", PolicyContext(profile=profile, config=config, seed=42)
-        )
-        return simulate(trace, policy, config)
-
-    one_run()  # warm-up
-    best = min(_time(one_run)[1] for _ in range(3))
-    record = {
-        "workload": "mcf",
-        "scheme": "Hybrid",
-        "requests": len(trace),
-        "seconds": best,
-        "requests_per_s": len(trace) / best,
-    }
-    _merge_into_bench_json(results_dir, {"single_run": record, "meta": bench_meta()})
-    assert best > 0
+    record = bench_single_run(BENCH_REQUESTS)
+    merge_into_bench_json(results_dir, {"single_run": record, "meta": bench_meta()})
+    assert record["seconds"] > 0
 
 
 def test_engine_telemetry_overhead(results_dir):
     """Disabled telemetry must be ~free; enabled cost is recorded, not gated.
 
     The disabled path is the default engine path, so its throughput is
-    already tracked cross-commit by ``single_run``. Here we compare a
-    telemetry-off run against a full tracing+metrics run of the same
-    trace, record both, and assert the instrumented run still yields
-    identical statistics. Set ``READDUO_BENCH_MAX_OVERHEAD_PCT`` to gate
-    the disabled-vs-baseline regression strictly (used by release runs;
-    left off by default because wall-clock gates flake on shared CI).
+    already tracked cross-commit by ``single_run``. The shared scenario
+    compares a telemetry-off run against a full tracing+metrics run of
+    the same trace, records both, and asserts the instrumented run
+    yields identical statistics. Set ``READDUO_BENCH_MAX_OVERHEAD_PCT``
+    to gate the disabled-vs-baseline regression strictly (used by
+    release runs; left off by default because wall-clock gates flake on
+    shared CI).
     """
-    from repro.core.schemes import PolicyContext, make_policy
-    from repro.memsim.config import MemoryConfig
-    from repro.memsim.engine import simulate
-    from repro.obs import MetricsRegistry, Telemetry, Tracer
-    from repro.traces.generator import generate_trace
-    from repro.traces.spec import instructions_for_requests, workload
+    record = bench_telemetry_overhead(BENCH_REQUESTS)
+    merge_into_bench_json(results_dir, {"telemetry_overhead": record})
 
-    config = MemoryConfig()
-    profile = workload("mcf")
-    requests = max(4_000, BENCH_REQUESTS // 3)
-    instructions = instructions_for_requests(profile, requests, config.num_cores)
-    trace = generate_trace(
-        profile,
-        instructions_per_core=instructions,
-        num_cores=config.num_cores,
-        seed=42,
-    )
-
-    def run(telemetry):
-        policy = make_policy(
-            "Hybrid", PolicyContext(profile=profile, config=config, seed=42)
+    max_enabled = os.environ.get("READDUO_BENCH_MAX_ENABLED_OVERHEAD_PCT")
+    if max_enabled is not None:
+        assert record["enabled_overhead_pct"] <= float(max_enabled), (
+            f"enabled-telemetry overhead {record['enabled_overhead_pct']:.1f}% "
+            f"exceeds the allowed {max_enabled}%"
         )
-        return simulate(trace, policy, config, telemetry=telemetry)
-
-    run(None)  # warm-up
-    plain_stats = run(None)
-    disabled_s = min(_time(lambda: run(None))[1] for _ in range(3))
-
-    def traced():
-        return run(Telemetry(tracer=Tracer(), metrics=MetricsRegistry()))
-
-    traced_stats, _ = _time(traced)
-    enabled_s = min(_time(traced)[1] for _ in range(3))
-
-    assert traced_stats == plain_stats  # telemetry observes, never perturbs
-
-    record = {
-        "workload": "mcf",
-        "scheme": "Hybrid",
-        "requests": len(trace),
-        "disabled_s": disabled_s,
-        "disabled_requests_per_s": len(trace) / disabled_s,
-        "enabled_s": enabled_s,
-        "enabled_requests_per_s": len(trace) / enabled_s,
-        "enabled_overhead_pct": 100.0 * (enabled_s - disabled_s) / disabled_s,
-    }
-    _merge_into_bench_json(results_dir, {"telemetry_overhead": record})
 
     max_overhead = os.environ.get("READDUO_BENCH_MAX_OVERHEAD_PCT")
     if max_overhead is not None and _BASELINE_RPS:
-        current = len(trace) / disabled_s
+        current = record["disabled_requests_per_s"]
         drop_pct = 100.0 * (_BASELINE_RPS - current) / _BASELINE_RPS
         assert drop_pct < float(max_overhead), (
             f"disabled-telemetry throughput fell {drop_pct:.1f}% below the "
             f"committed baseline ({current:.0f} vs {_BASELINE_RPS:.0f} req/s)"
+        )
+
+
+def test_engine_batch_kernel_speedup(results_dir):
+    """Batch engine vs the event-level oracle: record the speedup.
+
+    The scenario itself asserts bit-for-bit result identity before any
+    timing. Set ``READDUO_BENCH_MIN_SPEEDUP`` to gate the speedup
+    strictly (the CI batch-kernel job sets 5; left off by default
+    because wall-clock gates flake on shared runners).
+    """
+    record = bench_batch_kernel(BENCH_REQUESTS)
+    merge_into_bench_json(results_dir, {"batch_kernel": record})
+
+    min_speedup = os.environ.get("READDUO_BENCH_MIN_SPEEDUP")
+    if min_speedup is not None:
+        assert record["speedup"] >= float(min_speedup), (
+            f"batch kernel speedup {record['speedup']:.2f}x fell below the "
+            f"required {min_speedup}x over the event-level oracle"
         )
 
 
@@ -237,7 +198,7 @@ def test_sweep_serial_vs_parallel_vs_cached(results_dir, tmp_path):
     planner_record["warm_two_artifact"] = warm_plan.stats.as_dict()
     planner_record["warm_two_artifact_wall_s"] = warm_plan_s
 
-    _merge_into_bench_json(
+    merge_into_bench_json(
         results_dir, {"sweep": record, "planner": planner_record}
     )
     # A warm cache replays JSON instead of simulating; anything less than
@@ -251,16 +212,3 @@ def _flat(grid):
         for w, per_scheme in grid.items()
         for s, stats in per_scheme.items()
     ]
-
-
-def _merge_into_bench_json(results_dir, fragment):
-    """Accumulate sections into results/BENCH_sweep.json across tests."""
-    path = results_dir / "BENCH_sweep.json"
-    payload = {}
-    if path.exists():
-        try:
-            payload = json.loads(path.read_text())
-        except ValueError:
-            payload = {}
-    payload.update(fragment)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

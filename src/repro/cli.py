@@ -16,6 +16,17 @@ Subcommands:
 * ``faults`` — fault-injection study: sweep the stuck-at fault density
   under one scheme/workload and report the uncorrectable-error-rate
   curve (see :mod:`repro.experiments.faults` and docs/RESILIENCE.md).
+* ``bench`` — rerun the engine benchmark scenarios (single-run
+  throughput, telemetry overhead, batch-kernel speedup vs the
+  event-level oracle) and rewrite ``results/BENCH_sweep.json`` through
+  the same code path the ``benchmarks/`` harness uses (see
+  docs/PERFORMANCE.md).
+
+``simulate`` and ``sweep`` accept ``--engine {batch,event}``: ``batch``
+(default) is the vectorized batch kernel, ``event`` the event-level
+scalar oracle. The two are bit-for-bit identical, so the flag never
+enters result identity — it only trades speed for step-by-step
+debuggability (see docs/PERFORMANCE.md).
 
 Simulation-sweep commands accept ``--jobs N`` (process-parallel run
 units, up to workloads x schemes at once) and ``--no-cache`` (skip the
@@ -220,7 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     tele = _build_telemetry(args)
     started = time.perf_counter()
-    stats = simulate(trace, policy, config, telemetry=tele)
+    stats = simulate(trace, policy, config, telemetry=tele, engine=args.engine)
     _log.info(
         "simulated %d requests in %.2fs", len(trace), time.perf_counter() - started
     )
@@ -287,6 +298,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except SpecError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.engine is not None and args.engine != settings.engine:
+        # Engine choice never enters result identity (the engines are
+        # bit-for-bit identical), so overriding a --spec file's engine
+        # does not create a second source of truth for the content.
+        import dataclasses
+
+        settings = dataclasses.replace(settings, engine=args.engine)
     tele = _build_telemetry(args)
     # An explicit SweepCache instance so its hit/miss counters are ours
     # to report (run_sweep would otherwise build an anonymous one).
@@ -409,6 +427,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.bench import run_bench_suite
+
+    def say(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    payload = run_bench_suite(
+        results_dir=args.results_dir,
+        requests=args.requests,
+        log=say,
+    )
+    kernel = payload.get("batch_kernel", {})
+    single = payload.get("single_run", {})
+    say(
+        f"wrote {args.results_dir}/BENCH_sweep.json: "
+        f"{single.get('requests_per_s', 0.0):.0f} requests/s single run, "
+        f"{kernel.get('speedup', 0.0):.1f}x batch-kernel speedup"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -439,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--instructions", type=int, default=0,
                        help="override instructions per core")
     p_sim.add_argument("--seed", type=int, default=42)
+    _add_engine_flag(p_sim, default="batch")
     _add_observability_flags(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -457,6 +497,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace/policy seed (default: 42)")
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workloads", nargs="*", default=None)
+    # Default None so a --spec file's engine wins unless overridden.
+    _add_engine_flag(p_sweep, default=None)
     _add_sweep_execution_flags(p_sweep)
     _add_observability_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -488,7 +530,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_execution_flags(p_faults)
     _add_observability_flags(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="rerun engine benchmarks, rewrite results/BENCH_sweep.json",
+    )
+    p_bench.add_argument(
+        "--requests", type=_positive_int, default=30_000,
+        help="requests per trace for the paper-scale scenarios",
+    )
+    p_bench.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory holding BENCH_sweep.json (default: results)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
+
+
+def _add_engine_flag(
+    parser: argparse.ArgumentParser, default: Optional[str]
+) -> None:
+    from .memsim.engine import ENGINES
+
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=default,
+        help="simulation engine: 'batch' (vectorized kernel, default) or "
+             "'event' (event-level scalar oracle); results are bit-for-bit "
+             "identical either way",
+    )
 
 
 def _positive_int(text: str) -> int:

@@ -11,14 +11,93 @@ RNG entirely.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..pcm.params import M_METRIC, MetricParams, R_METRIC
 from ..reliability.drift_prob import mean_cell_error_probability
 
-__all__ = ["DriftErrorSampler"]
+__all__ = ["DriftErrorSampler", "SamplerTables", "sampler_tables"]
+
+
+class SamplerTables:
+    """Shared, precomputed probability tables for one sampler configuration.
+
+    Building the tables means evaluating the analytic drift-error model on
+    a 160-point log-age grid per metric — milliseconds of scipy work that
+    used to be repeated for every policy instantiation. Tables are pure
+    functions of ``(r_params, m_params, grid bounds, grid_points)``, so one
+    module-level memo serves every sampler (and the batch kernels, which
+    read the precomputed slope arrays for a bisect-based interpolation that
+    is bit-identical to ``np.interp`` on the same grid).
+    """
+
+    __slots__ = (
+        "grid",
+        "log_grid",
+        "p_r",
+        "p_m",
+        "log_grid_list",
+        "p_r_list",
+        "p_m_list",
+        "slope_r",
+        "slope_m",
+    )
+
+    def __init__(
+        self,
+        r_params: MetricParams,
+        m_params: MetricParams,
+        log_lo: float,
+        log_hi: float,
+        grid_points: int,
+    ) -> None:
+        self.grid = np.logspace(log_lo, log_hi, grid_points)
+        self.log_grid = np.log10(self.grid)
+        self.p_r = np.asarray(mean_cell_error_probability(r_params, self.grid))
+        self.p_m = np.asarray(mean_cell_error_probability(m_params, self.grid))
+        for arr in (self.grid, self.log_grid, self.p_r, self.p_m):
+            arr.setflags(write=False)
+        # Plain-list mirrors + per-segment slopes for the batch kernels'
+        # bisect-lerp fast path. `(p[j+1]-p[j]) / (x[j+1]-x[j])` evaluated
+        # once per segment yields the same double as np.interp computes
+        # per query, so `slope*(q-x[j]) + p[j]` reproduces np.interp
+        # bit-for-bit (see tests/test_batch_equivalence.py).
+        self.log_grid_list: List[float] = self.log_grid.tolist()
+        self.p_r_list: List[float] = self.p_r.tolist()
+        self.p_m_list: List[float] = self.p_m.tolist()
+        xs = self.log_grid_list
+        self.slope_r: List[float] = [
+            (self.p_r_list[j + 1] - self.p_r_list[j]) / (xs[j + 1] - xs[j])
+            for j in range(len(xs) - 1)
+        ]
+        self.slope_m: List[float] = [
+            (self.p_m_list[j + 1] - self.p_m_list[j]) / (xs[j + 1] - xs[j])
+            for j in range(len(xs) - 1)
+        ]
+
+
+_TABLE_MEMO: Dict[
+    Tuple[MetricParams, MetricParams, float, float, int], SamplerTables
+] = {}
+
+
+def sampler_tables(
+    r_params: MetricParams = R_METRIC,
+    m_params: MetricParams = M_METRIC,
+    log_lo: float = 0.0,
+    log_hi: float = 8.0,
+    grid_points: int = 160,
+) -> SamplerTables:
+    """Memoized probability tables for the given sampler configuration."""
+    key = (r_params, m_params, float(log_lo), float(log_hi), grid_points)
+    found = _TABLE_MEMO.get(key)
+    if found is None:
+        found = _TABLE_MEMO[key] = SamplerTables(
+            r_params, m_params, float(log_lo), float(log_hi), grid_points
+        )
+    return found
 
 
 class DriftErrorSampler:
@@ -52,10 +131,13 @@ class DriftErrorSampler:
         self._negligible_p = negligible_expected_errors / cells_per_line
         self._log_lo = np.log10(age_grid_lo_s)
         self._log_hi = np.log10(age_grid_hi_s)
-        self._grid = np.logspace(self._log_lo, self._log_hi, grid_points)
-        self._log_grid = np.log10(self._grid)
-        self._p_r = np.asarray(mean_cell_error_probability(r_params, self._grid))
-        self._p_m = np.asarray(mean_cell_error_probability(m_params, self._grid))
+        self.tables = sampler_tables(
+            r_params, m_params, self._log_lo, self._log_hi, grid_points
+        )
+        self._grid = self.tables.grid
+        self._log_grid = self.tables.log_grid
+        self._p_r = self.tables.p_r
+        self._p_m = self.tables.p_m
 
     def cell_error_probability(self, age_s: float, metric: str = "R") -> float:
         """Interpolated per-cell error probability at ``age_s``."""

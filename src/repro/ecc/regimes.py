@@ -14,11 +14,15 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 __all__ = [
     "CORRECTABLE_ERRORS",
     "DETECTABLE_ERRORS",
     "ErrorRegime",
+    "REGIME_BY_CODE",
     "classify_error_count",
+    "classify_error_counts",
 ]
 
 #: BCH-8 correction capability (paper Section III-B).
@@ -63,3 +67,40 @@ def classify_error_count(
     if errors <= detectable:
         return ErrorRegime.DETECTED_UNCORRECTABLE
     return ErrorRegime.SILENT
+
+
+#: Regime at each integer code :func:`classify_error_counts` emits.
+REGIME_BY_CODE = (
+    ErrorRegime.CORRECTED,
+    ErrorRegime.DETECTED_UNCORRECTABLE,
+    ErrorRegime.SILENT,
+)
+
+
+def classify_error_counts(
+    errors: np.ndarray,
+    correctable: int = CORRECTABLE_ERRORS,
+    detectable: int = DETECTABLE_ERRORS,
+) -> np.ndarray:
+    """Vectorized :func:`classify_error_count` over an array of counts.
+
+    The batch simulation kernel classifies every read of a run in one
+    call, so the split is computed with two array comparisons instead of
+    per-read Python dispatch.
+
+    Args:
+        errors: Integer bit-error counts, any shape.
+        correctable: Correction capability ``t`` (default: BCH-8).
+        detectable: Guaranteed-detection bound ``2t + 1``.
+
+    Returns:
+        ``int8`` array of regime codes, same shape as ``errors``:
+        0 = corrected, 1 = detected-uncorrectable, 2 = silent
+        (``REGIME_BY_CODE[code]`` maps back to the enum).
+    """
+    arr = np.asarray(errors, dtype=np.int64)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("error count must be >= 0")
+    codes = (arr > correctable).astype(np.int8)
+    codes += (arr > detectable).astype(np.int8)
+    return codes

@@ -1,0 +1,262 @@
+"""Shared benchmark scenarios for the CLI and the benchmark harness.
+
+``readduo bench`` and ``benchmarks/test_bench_sweep_scaling.py`` both
+call the functions here, so the numbers recorded in
+``results/BENCH_sweep.json`` come from one code path no matter which
+entry point produced them. Each scenario returns a plain dict (one JSON
+section); :func:`merge_into_bench_json` folds sections into the results
+file without clobbering sections written by other scenarios.
+
+The canonical single-run scenario is mcf/Hybrid at ``requests``
+demand reads with trace and policy seed 42 — the same configuration the
+pre-optimization engine (PR 1 baseline) measured ~34k requests/s on, so
+``requests_per_s`` stays comparable across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BENCH_REQUESTS",
+    "bench_meta",
+    "bench_single_run",
+    "bench_telemetry_overhead",
+    "bench_batch_kernel",
+    "merge_into_bench_json",
+    "run_bench_suite",
+]
+
+#: Requests per trace for the paper-scale scenarios (overridable by the
+#: CLI's ``--requests`` and the harness's ``READDUO_BENCH_REQUESTS``).
+DEFAULT_BENCH_REQUESTS = 30_000
+
+
+def bench_meta(requests: int, jobs: int) -> Dict:
+    """Run metadata recorded alongside benchmark numbers.
+
+    Throughput figures are only comparable across commits when the
+    machine and configuration match; this block makes the context of a
+    recorded number auditable.
+    """
+    from .. import __version__
+
+    return {
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "bench_requests": requests,
+        "bench_jobs": jobs,
+        "bench_jobs_env": os.environ.get("READDUO_BENCH_JOBS"),
+    }
+
+
+def _time(fn: Callable) -> Tuple[object, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _best_of(fn: Callable, repeats: int = 3) -> float:
+    return min(_time(fn)[1] for _ in range(repeats))
+
+
+def _scenario(requests: int):
+    """Build the canonical mcf/Hybrid benchmark scenario.
+
+    Returns ``(trace, make_policy_fn, config)`` where the policy factory
+    yields a fresh seed-42 Hybrid policy per run (policies carry mutable
+    per-run state, traces do not).
+    """
+    from ..core.schemes import PolicyContext, make_policy
+    from ..memsim.config import MemoryConfig
+    from ..traces.generator import generate_trace
+    from ..traces.spec import instructions_for_requests, workload
+
+    config = MemoryConfig()
+    profile = workload("mcf")
+    instructions = instructions_for_requests(profile, requests, config.num_cores)
+    trace = generate_trace(
+        profile,
+        instructions_per_core=instructions,
+        num_cores=config.num_cores,
+        seed=42,
+    )
+
+    def fresh_policy():
+        return make_policy(
+            "Hybrid", PolicyContext(profile=profile, config=config, seed=42)
+        )
+
+    return trace, fresh_policy, config
+
+
+def bench_single_run(requests: int) -> Dict:
+    """One paper-scale run; records engine requests/s for cross-commit diffs."""
+    from ..memsim.engine import simulate
+
+    trace, fresh_policy, config = _scenario(requests)
+
+    def one_run():
+        return simulate(trace, fresh_policy(), config)
+
+    one_run()  # warm-up
+    best = _best_of(one_run)
+    return {
+        "workload": "mcf",
+        "scheme": "Hybrid",
+        "requests": len(trace),
+        "seconds": best,
+        "requests_per_s": len(trace) / best,
+    }
+
+
+def bench_telemetry_overhead(requests: int) -> Dict:
+    """Compare telemetry-off vs full tracing+metrics runs of one trace.
+
+    Raises ``AssertionError`` if the instrumented run's statistics differ
+    from the plain run's — telemetry observes, never perturbs.
+    """
+    from ..memsim.engine import simulate
+    from ..obs import MetricsRegistry, Telemetry, Tracer
+
+    trace, fresh_policy, config = _scenario(max(4_000, requests // 3))
+
+    def run(telemetry):
+        return simulate(trace, fresh_policy(), config, telemetry=telemetry)
+
+    run(None)  # warm-up
+    plain_stats = run(None)
+    disabled_s = _best_of(lambda: run(None))
+
+    def traced():
+        return run(Telemetry(tracer=Tracer(), metrics=MetricsRegistry()))
+
+    traced_stats, _ = _time(traced)
+    enabled_s = _best_of(traced)
+
+    assert traced_stats == plain_stats  # telemetry observes, never perturbs
+
+    return {
+        "workload": "mcf",
+        "scheme": "Hybrid",
+        "requests": len(trace),
+        "disabled_s": disabled_s,
+        "disabled_requests_per_s": len(trace) / disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_requests_per_s": len(trace) / enabled_s,
+        "enabled_overhead_pct": 100.0 * (enabled_s - disabled_s) / disabled_s,
+    }
+
+
+def bench_batch_kernel(requests: int) -> Dict:
+    """Time the batch kernel against the event-level scalar oracle.
+
+    Runs the canonical scenario once per engine, asserts the results are
+    bit-for-bit identical (``to_dict`` equality — the property the
+    equivalence suite checks exhaustively), then times both engines and
+    records the speedup. The scalar leg runs at a reduced request count
+    when ``requests`` is large so the oracle timing stays affordable;
+    both engines' requests/s are normalized per-request so the speedup
+    is still comparable.
+    """
+    from ..memsim.batch import TELEMETRY_FLUSH_WINDOW
+    from ..memsim.engine import simulate
+
+    trace, fresh_policy, config = _scenario(requests)
+
+    def run(engine: str):
+        return simulate(trace, fresh_policy(), config, engine=engine)
+
+    batch_stats = run("batch")  # warm-up doubles as the equivalence input
+    scalar_stats = run("event")
+    assert batch_stats.to_dict() == scalar_stats.to_dict(), (
+        "batch engine diverged from the event-level oracle"
+    )
+
+    batch_s = _best_of(lambda: run("batch"))
+    scalar_s = _best_of(lambda: run("event"))
+    batch_rps = len(trace) / batch_s
+    scalar_rps = len(trace) / scalar_s
+    return {
+        "workload": "mcf",
+        "scheme": "Hybrid",
+        "requests": len(trace),
+        "scalar_s": scalar_s,
+        "scalar_requests_per_s": scalar_rps,
+        "batch_s": batch_s,
+        "batch_requests_per_s": batch_rps,
+        "speedup": scalar_s / batch_s,
+        "batch_window": TELEMETRY_FLUSH_WINDOW,
+        "equivalence_check": "bit-for-bit",
+    }
+
+
+def merge_into_bench_json(results_dir: Path, fragment: Dict) -> Path:
+    """Accumulate sections into results/BENCH_sweep.json across scenarios."""
+    path = Path(results_dir) / "BENCH_sweep.json"
+    payload: Dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(fragment)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_bench_suite(
+    results_dir: Path,
+    requests: int = DEFAULT_BENCH_REQUESTS,
+    jobs: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the single-run, telemetry, and batch-kernel scenarios.
+
+    Writes each section into ``results/BENCH_sweep.json`` as it
+    completes (so a crash mid-suite still records finished sections) and
+    returns the merged payload. This is the ``readduo bench`` entry
+    point; the benchmark harness calls the same scenario functions
+    individually (plus the sweep-scaling scenario, which needs pytest's
+    tmp-path cache isolation).
+    """
+    def say(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    results_dir = Path(results_dir)
+    results_dir.mkdir(exist_ok=True)
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    say(f"single_run: mcf/Hybrid at {requests} requests ...")
+    single = bench_single_run(requests)
+    merge_into_bench_json(
+        results_dir,
+        {"single_run": single, "meta": bench_meta(requests, jobs)},
+    )
+    say(f"  {single['requests_per_s']:.0f} requests/s")
+
+    say("telemetry_overhead: disabled vs tracing+metrics ...")
+    overhead = bench_telemetry_overhead(requests)
+    merge_into_bench_json(results_dir, {"telemetry_overhead": overhead})
+    say(f"  {overhead['enabled_overhead_pct']:.1f}% enabled overhead")
+
+    say("batch_kernel: batch engine vs event-level oracle ...")
+    kernel = bench_batch_kernel(requests)
+    merge_into_bench_json(results_dir, {"batch_kernel": kernel})
+    say(
+        f"  {kernel['speedup']:.1f}x over scalar "
+        f"({kernel['batch_requests_per_s']:.0f} vs "
+        f"{kernel['scalar_requests_per_s']:.0f} requests/s)"
+    )
+
+    payload = json.loads(
+        (results_dir / "BENCH_sweep.json").read_text()
+    )
+    return payload

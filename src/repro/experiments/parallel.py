@@ -113,7 +113,12 @@ def simulate_unit(
     policy = spec.make_policy(scheme, profile)
     faults = spec.fault_injector(workload_name, scheme)
     return simulate(
-        trace, policy, spec.config, epoch_s=spec.epoch_s, faults=faults
+        trace,
+        policy,
+        spec.config,
+        epoch_s=spec.epoch_s,
+        faults=faults,
+        engine=spec.engine,
     )
 
 

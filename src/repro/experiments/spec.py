@@ -42,6 +42,7 @@ from ..core.registry import (
 )
 from ..faults import FaultInjector, FaultSpec, FaultSpecError
 from ..memsim.config import DEFAULT_EPOCH_S, MemoryConfig
+from ..memsim.engine import ENGINES as _ENGINES
 from ..pcm.params import EnergyParams, TimingParams
 from ..traces.generator import generate_trace
 from ..traces.spec import (
@@ -137,6 +138,12 @@ class SimSpec:
             normalized to ``None`` — means no fault injection, and the
             spec hashes exactly as it did before faults existed, so
             fault-free warm caches stay valid.
+        engine: Simulation engine — ``"batch"`` (vectorized kernel, the
+            default) or ``"event"`` (the event-level oracle). The two
+            are bit-for-bit identical, so the flag is *excluded* from
+            :meth:`content_hash`: artifacts cached under one engine
+            replay under the other, and the pinned sweep digest is
+            engine-independent.
     """
 
     schemes: Tuple[str, ...] = ALL_SCHEMES
@@ -146,6 +153,7 @@ class SimSpec:
     config: MemoryConfig = field(default_factory=MemoryConfig)
     epoch_s: float = DEFAULT_EPOCH_S
     faults: Optional[FaultSpec] = None
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         schemes = tuple(canonical_scheme_name(str(s)) for s in self.schemes)
@@ -195,6 +203,11 @@ class SimSpec:
             # keeps "no faults" a single value with a single hash.
             faults = None
         object.__setattr__(self, "faults", faults)
+        engine = self.engine
+        if engine not in _ENGINES:
+            raise SpecError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
 
     # ------------------------------------------------------------ derivations
 
@@ -225,6 +238,10 @@ class SimSpec:
         }
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        if self.engine != "batch":
+            # Only the non-default engine is recorded, so spec files from
+            # before the flag existed round-trip unchanged.
+            payload["engine"] = self.engine
         return payload
 
     @classmethod
@@ -299,7 +316,9 @@ class SimSpec:
         fault spec joins the identity under a ``"faults"`` key; a
         fault-free spec hashes byte-identically to the pre-faults format
         (no ``SPEC_HASH_FORMAT`` bump), so existing warm caches remain
-        valid.
+        valid. The ``engine`` flag is deliberately *not* covered: both
+        engines produce bit-identical results, so engine choice must not
+        (and does not) invalidate caches or change the sweep digest.
         """
         identity = {
             "format": SPEC_HASH_FORMAT,

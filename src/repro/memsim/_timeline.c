@@ -1,0 +1,779 @@
+/* Speculative pass-1 timeline kernel for the batch engine.
+ *
+ * Transcribes the event loop of repro/memsim/batch.py (itself an exact
+ * replay of repro/memsim/engine.py) for policy shapes whose read-path
+ * sampling provably cannot feed back into the event schedule: the read
+ * mode is a known constant, writes and scrubs return constant decisions,
+ * and no conversions can occur. Under those assumptions the timeline is
+ * independent of the RNG, so this kernel runs the full queueing network
+ * (bank queues, write cancellation, channel arbitration, scrub sweep)
+ * and records the per-read line ages in bank-start order; the Python
+ * caller then evaluates the drift sampling as vectorized numpy over the
+ * age array — consuming the policy RNG in the identical order — and
+ * *verifies* the speculation (see repro/memsim/fastpath.py). Any outcome
+ * that would have changed the timeline aborts the whole speculative run.
+ *
+ * Bit-exactness rules (docs/PERFORMANCE.md):
+ *  - all accumulation in IEEE-754 doubles, in the scalar engine's order;
+ *  - compiled without -ffast-math and with -ffp-contract=off so no FMA
+ *    contraction changes a rounding;
+ *  - Python's floor-mod on possibly-negative ints is spelled out;
+ *  - int(x) truncation on non-negative doubles is a plain cast;
+ *  - the heap key (time, seq) is strictly ordered (seq is unique), so
+ *    any correct binary heap pops in the same order as Python's heapq.
+ *
+ * The kernel is a pure function of its inputs: on any capacity overflow
+ * it reports an error and the caller either retries with larger output
+ * buffers or falls back to the exact-replay Python loop.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define RQ_CAP 64 /* per-bank read queue; bounded by num_cores (gated) */
+#define WQ_CAP 72 /* per-bank write queue; bounded by depth + 1 (gated) */
+#define DQ_CAP 128 /* channel demand queue; bounded by num_cores */
+#define SQ_CAP 72 /* channel scrub queue; bounded by backlog cap (gated) */
+
+enum { EV_CORE = 0, EV_BANK_DONE = 1, EV_SCRUB = 2, EV_CHANNEL_DONE = 3 };
+enum { JOB_NONE = -1, JOB_READ = 0, JOB_WRITE = 1 };
+enum {
+    ERR_NONE = 0,
+    ERR_HEAP = 1,
+    ERR_RQ = 2,
+    ERR_WQ = 3,
+    ERR_WAIT = 4,
+    ERR_DQ = 5,
+    ERR_SQ = 6,
+    ERR_AGES = 7,
+    ERR_REP = 8, /* retryable: grow the replay buffer */
+    ERR_REC = 10, /* retryable: grow the tracer-record buffer */
+    ERR_ALLOC = 11
+};
+
+/* Energy-category ids (first-touch order is replayed into the Python
+ * dicts, whose insertion order the run cache serializes). */
+enum { ECAT_READ = 0, ECAT_WRITE = 1, ECAT_SCRUB_READ = 2, ECAT_SCRUB_WRITE = 3 };
+enum { WCAT_DEMAND = 0, WCAT_SCRUB = 1 };
+
+typedef struct {
+    int64_t n_cores;
+    const int64_t *core_off; /* n_cores + 1 offsets into ops/lines/gaps */
+    const int8_t *ops;
+    const int64_t *lines;
+    const double *gaps_ns; /* pre-scaled by cycle_ns */
+    int32_t op_read;
+    int32_t pad0;
+    int64_t num_banks;
+    int64_t write_queue_depth;
+    double cancel_threshold;
+    double write_ns;
+    double bus_ns;
+    double read_lat_ns; /* predicted-mode read latency */
+    int32_t scrub_on;
+    int32_t scrub_blocks_channel;
+    double scrub_tick_ns;
+    int64_t lines_per_scrub_op;
+    int64_t total_lines;
+    int64_t scrub_backlog_cap;
+    double scrub_metric_read_ns;
+    int32_t use_age;
+    int32_t use_spa;
+    double scrub_interval_s;
+    double epoch_s;
+    int64_t half_lines;
+    double pj_read;
+    double pj_per_cell;
+    double pj_scrub_read;
+    int64_t write_cells;
+    int64_t full_cells;
+    int64_t n_birth;
+    const int64_t *birth_lines;
+    const double *birth_times;
+    int32_t tele_on;
+    int32_t trace_on;
+    int64_t ages_cap;
+    int64_t rep_cap;
+    int64_t rec_cap;
+} Params;
+
+typedef struct {
+    int64_t n_reads;
+    int64_t n_writes;
+    int64_t n_cancelled;
+    int64_t n_scrub_ops;
+    int64_t n_scrub_rewrites;
+    int64_t n_scrubs_skipped;
+    int64_t seq;
+    double total_read_latency;
+    double exec_time_ns;
+    double acc_read_pj;
+    double acc_write_pj;
+    double acc_scrub_read_pj;
+    double acc_scrub_write_pj;
+    int64_t wear_demand;
+    int64_t wear_scrub;
+    double lat_sum;
+    double depth_sum;
+    int64_t n_ages;
+    int64_t n_rep;
+    int64_t n_rec;
+    int64_t n_lat;
+    int64_t n_depth;
+    int32_t ecat_order[4];
+    int32_t n_ecat;
+    int32_t wcat_order[2];
+    int32_t n_wcat;
+    int32_t pad0;
+    int64_t error;
+} Out;
+
+/* Compact tracer record; materialized lazily into dicts on the Python
+ * side. kind 0 read: a=core b=depth line f1=issue f2=start f3=complete;
+ * kind 1 write: a=bank line f1=start f2=complete; kind 2 cancel: a=bank
+ * line f1=progress f2=time; kind 3 scrub: a=lines b=rewrites c=skipped
+ * f1=time f2=duration. */
+typedef struct {
+    double f1;
+    double f2;
+    double f3;
+    int64_t line;
+    int32_t kind;
+    int32_t a;
+    int32_t b;
+    int32_t c;
+} TraceRec;
+
+typedef struct {
+    double t;
+    int64_t seq;
+    int32_t kind;
+    int32_t a;
+    int64_t b;
+} Ev;
+
+typedef struct {
+    int32_t rq_core[RQ_CAP];
+    int32_t rq_depth[RQ_CAP];
+    int64_t rq_line[RQ_CAP];
+    double rq_enq[RQ_CAP];
+    int32_t rq_head, rq_len;
+    int64_t wq_line[WQ_CAP];
+    int32_t wq_head, wq_len;
+    int32_t waiters[RQ_CAP];
+    int32_t wa_head, wa_len;
+    double busy_until;
+    double job_start;
+    int32_t job_kind;
+    int32_t jp_core;
+    int32_t jp_depth;
+    int64_t jp_line;  /* read payload line */
+    double jp_enq;
+    int64_t jp_wline; /* write payload line */
+    int64_t token;
+} Bank;
+
+typedef struct {
+    int32_t core, depth;
+    int64_t line;
+    double enq, start;
+} RdPay;
+
+typedef struct {
+    int64_t *keys;
+    double *vals;
+    int64_t cap, mask, used;
+} Map;
+
+typedef struct {
+    const Params *p;
+    Out *o;
+    double *ages;
+    int64_t *rep_lines; /* last_write replay: lw[line] = time, in order */
+    double *rep_times;
+    int8_t *rep_kind; /* 0 = demand write, 1 = scrub visit */
+    double *lat;
+    int32_t *depth;
+    TraceRec *recs;
+    Ev *heap;
+    int64_t heap_len, heap_cap;
+    Bank *banks;
+    int64_t *pos;
+    double *finish;
+    uint8_t *done;
+    int64_t active_cores;
+    Map lw;
+    double chan_busy_until;
+    int64_t chan_token;
+    int32_t chan_active;
+    int32_t chan_last_was_scrub;
+    RdPay dq[DQ_CAP];
+    int32_t dq_head, dq_len;
+    double sq_dur[SQ_CAP];
+    int32_t sq_head, sq_len;
+    int64_t scrub_pointer;
+    int64_t err;
+} Sim;
+
+/* ------------------------------------------------------------------ map */
+
+static uint64_t map_hash(int64_t key) {
+    uint64_t v = (uint64_t)key;
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+    return v ^ (v >> 31);
+}
+
+static int map_init(Map *m, int64_t min_entries) {
+    int64_t cap = 64;
+    while (cap < min_entries * 2) cap <<= 1;
+    m->keys = (int64_t *)malloc(sizeof(int64_t) * (size_t)cap);
+    m->vals = (double *)malloc(sizeof(double) * (size_t)cap);
+    if (!m->keys || !m->vals) return 0;
+    for (int64_t i = 0; i < cap; i++) m->keys[i] = -1;
+    m->cap = cap;
+    m->mask = cap - 1;
+    m->used = 0;
+    return 1;
+}
+
+static int map_grow(Map *m) {
+    int64_t old_cap = m->cap;
+    int64_t *old_keys = m->keys;
+    double *old_vals = m->vals;
+    int64_t cap = old_cap << 1;
+    int64_t *keys = (int64_t *)malloc(sizeof(int64_t) * (size_t)cap);
+    double *vals = (double *)malloc(sizeof(double) * (size_t)cap);
+    if (!keys || !vals) {
+        free(keys);
+        free(vals);
+        return 0;
+    }
+    for (int64_t i = 0; i < cap; i++) keys[i] = -1;
+    int64_t mask = cap - 1;
+    for (int64_t i = 0; i < old_cap; i++) {
+        int64_t k = old_keys[i];
+        if (k == -1) continue;
+        uint64_t j = map_hash(k) & (uint64_t)mask;
+        while (keys[j] != -1) j = (j + 1) & (uint64_t)mask;
+        keys[j] = k;
+        vals[j] = old_vals[i];
+    }
+    free(old_keys);
+    free(old_vals);
+    m->keys = keys;
+    m->vals = vals;
+    m->cap = cap;
+    m->mask = mask;
+    return 1;
+}
+
+static int map_set(Map *m, int64_t key, double val) {
+    if ((m->used + 1) * 10 >= m->cap * 7 && !map_grow(m)) return 0;
+    uint64_t i = map_hash(key) & (uint64_t)m->mask;
+    for (;;) {
+        if (m->keys[i] == key) {
+            m->vals[i] = val;
+            return 1;
+        }
+        if (m->keys[i] == -1) {
+            m->keys[i] = key;
+            m->vals[i] = val;
+            m->used++;
+            return 1;
+        }
+        i = (i + 1) & (uint64_t)m->mask;
+    }
+}
+
+/* Every looked-up line is preloaded with its birth time, so a miss is
+ * impossible; the -1 check keeps the loop finite regardless. */
+static double map_get(const Map *m, int64_t key) {
+    uint64_t i = map_hash(key) & (uint64_t)m->mask;
+    for (;;) {
+        if (m->keys[i] == key) return m->vals[i];
+        if (m->keys[i] == -1) return 0.0;
+        i = (i + 1) & (uint64_t)m->mask;
+    }
+}
+
+/* ----------------------------------------------------------- primitives */
+
+static void heap_push(Sim *s, double t, int32_t kind, int32_t a, int64_t b) {
+    s->o->seq += 1;
+    if (s->heap_len >= s->heap_cap) {
+        int64_t cap = s->heap_cap << 1;
+        Ev *grown = (Ev *)realloc(s->heap, sizeof(Ev) * (size_t)cap);
+        if (!grown) {
+            s->err = ERR_ALLOC;
+            return;
+        }
+        s->heap = grown;
+        s->heap_cap = cap;
+    }
+    int64_t i = s->heap_len++;
+    Ev *h = s->heap;
+    int64_t seq = s->o->seq;
+    while (i > 0) {
+        int64_t parent = (i - 1) >> 1;
+        if (h[parent].t < t || (h[parent].t == t && h[parent].seq < seq)) break;
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i].t = t;
+    h[i].seq = seq;
+    h[i].kind = kind;
+    h[i].a = a;
+    h[i].b = b;
+}
+
+static Ev heap_pop(Sim *s) {
+    Ev *h = s->heap;
+    Ev top = h[0];
+    Ev last = h[--s->heap_len];
+    int64_t n = s->heap_len;
+    int64_t i = 0;
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        if (child >= n) break;
+        int64_t right = child + 1;
+        if (right < n &&
+            (h[right].t < h[child].t ||
+             (h[right].t == h[child].t && h[right].seq < h[child].seq)))
+            child = right;
+        if (h[child].t < last.t || (h[child].t == last.t && h[child].seq < last.seq)) {
+            h[i] = h[child];
+            i = child;
+        } else {
+            break;
+        }
+    }
+    if (n > 0) h[i] = last;
+    return top;
+}
+
+static void touch_ecat(Out *o, int32_t cat) {
+    for (int32_t i = 0; i < o->n_ecat; i++)
+        if (o->ecat_order[i] == cat) return;
+    o->ecat_order[o->n_ecat++] = cat;
+}
+
+static void touch_wcat(Out *o, int32_t cat) {
+    for (int32_t i = 0; i < o->n_wcat; i++)
+        if (o->wcat_order[i] == cat) return;
+    o->wcat_order[o->n_wcat++] = cat;
+}
+
+static void emit_rec(Sim *s, int32_t kind, int32_t a, int32_t b, int32_t c,
+                     int64_t line, double f1, double f2, double f3) {
+    if (s->o->n_rec >= s->p->rec_cap) {
+        s->err = ERR_REC;
+        return;
+    }
+    TraceRec *r = &s->recs[s->o->n_rec++];
+    r->f1 = f1;
+    r->f2 = f2;
+    r->f3 = f3;
+    r->line = line;
+    r->kind = kind;
+    r->a = a;
+    r->b = b;
+    r->c = c;
+}
+
+/* BaseDriftPolicy.scrub_pass_age, float-op for float-op. */
+static double spa_of(const Params *p, int64_t line, double now_s) {
+    int64_t r = (line - p->half_lines) % p->total_lines;
+    if (r < 0) r += p->total_lines;
+    double frac = (double)r / (double)p->total_lines;
+    double cycles = floor((now_s - p->epoch_s) / p->scrub_interval_s - frac);
+    double last_pass = p->epoch_s + (cycles + frac) * p->scrub_interval_s;
+    if (last_pass > now_s) last_pass -= p->scrub_interval_s;
+    return now_s - last_pass;
+}
+
+static void complete_write(Sim *s) {
+    Out *o = s->o;
+    const Params *p = s->p;
+    touch_ecat(o, ECAT_WRITE);
+    o->acc_write_pj += p->pj_per_cell * (double)p->write_cells;
+    touch_wcat(o, WCAT_DEMAND);
+    o->wear_demand += p->write_cells;
+}
+
+static void account_scrub(Sim *s) {
+    Out *o = s->o;
+    const Params *p = s->p;
+    touch_ecat(o, ECAT_SCRUB_READ);
+    o->acc_scrub_read_pj += p->pj_scrub_read;
+    touch_ecat(o, ECAT_SCRUB_WRITE);
+    o->acc_scrub_write_pj += p->pj_per_cell * (double)p->full_cells;
+    touch_wcat(o, WCAT_SCRUB);
+    o->wear_scrub += p->full_cells;
+    o->n_scrub_rewrites += 1;
+    o->n_scrub_ops += 1;
+}
+
+static void advance_core(Sim *s, int32_t core_id, double now) {
+    const Params *p = s->p;
+    s->pos[core_id] += 1;
+    if (s->finish[core_id] < now) s->finish[core_id] = now;
+    int64_t n = p->core_off[core_id + 1] - p->core_off[core_id];
+    if (s->pos[core_id] >= n) {
+        if (!s->done[core_id]) {
+            s->done[core_id] = 1;
+            s->active_cores -= 1;
+        }
+        return;
+    }
+    heap_push(s, now + p->gaps_ns[p->core_off[core_id] + s->pos[core_id]],
+              EV_CORE, core_id, 0);
+}
+
+static void try_start_bank(Sim *s, Bank *bank, int64_t bank_id, double now);
+
+static int rep_push(Sim *s, int64_t line, double now_s, int8_t kind) {
+    if (!map_set(&s->lw, line, now_s)) {
+        s->err = ERR_ALLOC;
+        return 0;
+    }
+    if (s->o->n_rep >= s->p->rep_cap) {
+        s->err = ERR_REP;
+        return 0;
+    }
+    s->rep_lines[s->o->n_rep] = line;
+    s->rep_times[s->o->n_rep] = now_s;
+    s->rep_kind[s->o->n_rep] = kind;
+    s->o->n_rep += 1;
+    return 1;
+}
+
+static void issue_write(Sim *s, Bank *bank, int64_t bank_id, int32_t core_id,
+                        int64_t line, double now) {
+    const Params *p = s->p;
+    double now_s = p->epoch_s + now * 1e-9;
+    if (!rep_push(s, line, now_s, 0)) return;
+    if (bank->wq_len >= WQ_CAP) {
+        s->err = ERR_WQ;
+        return;
+    }
+    bank->wq_line[(bank->wq_head + bank->wq_len) % WQ_CAP] = line;
+    bank->wq_len += 1;
+    s->o->n_writes += 1;
+    advance_core(s, core_id, now);
+    if (s->err) return;
+    try_start_bank(s, bank, bank_id, now);
+}
+
+static void try_start_bank(Sim *s, Bank *bank, int64_t bank_id, double now) {
+    const Params *p = s->p;
+    if (s->err) return;
+    if (bank->busy_until > now || bank->job_kind != JOB_NONE) return;
+    if (bank->rq_len > 0) {
+        int32_t core_id = bank->rq_core[bank->rq_head];
+        int64_t line = bank->rq_line[bank->rq_head];
+        double enq = bank->rq_enq[bank->rq_head];
+        int32_t d = bank->rq_depth[bank->rq_head];
+        bank->rq_head = (bank->rq_head + 1) % RQ_CAP;
+        bank->rq_len -= 1;
+        if (p->use_age) {
+            double now_s = p->epoch_s + now * 1e-9;
+            double age = now_s - map_get(&s->lw, line);
+            if (age < 0.0) age = 0.0;
+            if (p->use_spa) {
+                double spa = spa_of(p, line, now_s);
+                if (spa < age) age = spa;
+            }
+            if (s->o->n_ages >= p->ages_cap) {
+                s->err = ERR_AGES;
+                return;
+            }
+            s->ages[s->o->n_ages++] = age;
+        }
+        bank->job_kind = JOB_READ;
+        bank->job_start = now;
+        bank->jp_core = core_id;
+        bank->jp_line = line;
+        bank->jp_enq = enq;
+        bank->jp_depth = d;
+        bank->busy_until = now + p->read_lat_ns;
+        bank->token += 1;
+        heap_push(s, bank->busy_until, EV_BANK_DONE, (int32_t)bank_id, bank->token);
+        return;
+    }
+    if (bank->wq_len > 0) {
+        int64_t wline = bank->wq_line[bank->wq_head];
+        bank->wq_head = (bank->wq_head + 1) % WQ_CAP;
+        bank->wq_len -= 1;
+        /* Release one waiter now that a write-queue slot freed. The
+         * nested try_start_bank may claim the bank first and then be
+         * overwritten below — that replays the scalar engine's exact
+         * call sequence, anomaly included. */
+        if (bank->wa_len > 0 && bank->wq_len < p->write_queue_depth) {
+            int32_t waiter = bank->waiters[bank->wa_head];
+            bank->wa_head = (bank->wa_head + 1) % RQ_CAP;
+            bank->wa_len -= 1;
+            int64_t wl = p->lines[p->core_off[waiter] + s->pos[waiter]];
+            issue_write(s, bank, bank_id, waiter, wl, now);
+            if (s->err) return;
+        }
+        bank->job_kind = JOB_WRITE;
+        bank->job_start = now;
+        bank->jp_wline = wline;
+        bank->busy_until = now + p->write_ns;
+        bank->token += 1;
+        heap_push(s, bank->busy_until, EV_BANK_DONE, (int32_t)bank_id, bank->token);
+    }
+}
+
+static void try_start_channel(Sim *s, double now) {
+    const Params *p = s->p;
+    if (s->chan_active || s->chan_busy_until > now) return;
+    int32_t demand = s->dq_len > 0;
+    int32_t scrub = s->sq_len > 0;
+    if (!demand && !scrub) return;
+    int32_t take_scrub = scrub && (!demand || !s->chan_last_was_scrub);
+    s->chan_last_was_scrub = take_scrub;
+    s->chan_active = 1;
+    s->chan_token += 1;
+    if (take_scrub)
+        s->chan_busy_until = now + s->sq_dur[s->sq_head];
+    else
+        s->chan_busy_until = now + p->bus_ns;
+    heap_push(s, s->chan_busy_until, EV_CHANNEL_DONE, 0, s->chan_token);
+}
+
+/* -------------------------------------------------------------- the run */
+
+int64_t run_timeline(const Params *p, Out *o, double *ages, int64_t *rep_lines,
+                     double *rep_times, int8_t *rep_kind, double *lat,
+                     int32_t *depth, TraceRec *recs) {
+    Sim s;
+    memset(&s, 0, sizeof(s));
+    memset(o, 0, sizeof(*o));
+    s.p = p;
+    s.o = o;
+    s.ages = ages;
+    s.rep_lines = rep_lines;
+    s.rep_times = rep_times;
+    s.rep_kind = rep_kind;
+    s.lat = lat;
+    s.depth = depth;
+    s.recs = recs;
+
+    s.heap_cap = 4096;
+    s.heap = (Ev *)malloc(sizeof(Ev) * (size_t)s.heap_cap);
+    s.banks = (Bank *)calloc((size_t)p->num_banks, sizeof(Bank));
+    s.pos = (int64_t *)calloc((size_t)p->n_cores, sizeof(int64_t));
+    s.finish = (double *)calloc((size_t)p->n_cores, sizeof(double));
+    s.done = (uint8_t *)calloc((size_t)p->n_cores, sizeof(uint8_t));
+    if (!s.heap || !s.banks || !s.pos || !s.finish || !s.done ||
+        !map_init(&s.lw, p->n_birth + 4096)) {
+        o->error = ERR_ALLOC;
+        goto cleanup;
+    }
+    for (int64_t i = 0; i < p->num_banks; i++) s.banks[i].job_kind = JOB_NONE;
+    for (int64_t i = 0; i < p->n_birth; i++)
+        if (!map_set(&s.lw, p->birth_lines[i], p->birth_times[i])) {
+            o->error = ERR_ALLOC;
+            goto cleanup;
+        }
+    s.scrub_pointer = p->total_lines / 2;
+
+    for (int64_t c = 0; c < p->n_cores; c++) {
+        int64_t n = p->core_off[c + 1] - p->core_off[c];
+        if (n == 0) {
+            s.done[c] = 1;
+        } else {
+            s.active_cores += 1;
+        }
+    }
+    for (int64_t c = 0; c < p->n_cores; c++)
+        if (!s.done[c])
+            heap_push(&s, p->gaps_ns[p->core_off[c]], EV_CORE, (int32_t)c, 0);
+    if (p->scrub_on) heap_push(&s, p->scrub_tick_ns, EV_SCRUB, 0, 0);
+
+    while (s.heap_len > 0 && s.active_cores > 0 && !s.err) {
+        Ev ev = heap_pop(&s);
+        double now = ev.t;
+        if (ev.kind == EV_CORE) {
+            int32_t core_id = ev.a;
+            int64_t idx = p->core_off[core_id] + s.pos[core_id];
+            int64_t line = p->lines[idx];
+            int64_t bank_id = line % p->num_banks;
+            Bank *bank = &s.banks[bank_id];
+            if (p->ops[idx] == p->op_read) {
+                if (bank->job_kind == JOB_WRITE && bank->busy_until > now &&
+                    p->write_ns > 0.0) {
+                    double progress =
+                        1.0 - (bank->busy_until - now) / p->write_ns;
+                    if (progress < p->cancel_threshold) {
+                        int64_t cancelled_line = bank->jp_wline;
+                        if (bank->wq_len >= WQ_CAP) {
+                            s.err = ERR_WQ;
+                            break;
+                        }
+                        bank->wq_head = (bank->wq_head + WQ_CAP - 1) % WQ_CAP;
+                        bank->wq_line[bank->wq_head] = cancelled_line;
+                        bank->wq_len += 1;
+                        bank->token += 1;
+                        bank->busy_until = now;
+                        bank->job_kind = JOB_NONE;
+                        o->n_cancelled += 1;
+                        double pclip = progress > 0.0 ? progress : 0.0;
+                        double wasted = (double)p->write_cells * pclip;
+                        touch_ecat(o, ECAT_WRITE);
+                        o->acc_write_pj += p->pj_per_cell * (double)(int64_t)wasted;
+                        if (p->trace_on)
+                            emit_rec(&s, 2, (int32_t)bank_id, 0, 0,
+                                     cancelled_line, pclip, now, 0.0);
+                    }
+                }
+                int32_t d = bank->rq_len;
+                if (p->tele_on) {
+                    depth[o->n_depth++] = d;
+                    o->depth_sum += (double)d;
+                }
+                if (bank->rq_len >= RQ_CAP) {
+                    s.err = ERR_RQ;
+                    break;
+                }
+                int32_t tail = (bank->rq_head + bank->rq_len) % RQ_CAP;
+                bank->rq_core[tail] = core_id;
+                bank->rq_line[tail] = line;
+                bank->rq_enq[tail] = now;
+                bank->rq_depth[tail] = d;
+                bank->rq_len += 1;
+                try_start_bank(&s, bank, bank_id, now);
+            } else {
+                if (bank->wq_len >= p->write_queue_depth) {
+                    if (bank->wa_len >= RQ_CAP) {
+                        s.err = ERR_WAIT;
+                        break;
+                    }
+                    bank->waiters[(bank->wa_head + bank->wa_len) % RQ_CAP] =
+                        core_id;
+                    bank->wa_len += 1;
+                } else {
+                    issue_write(&s, bank, bank_id, core_id, line, now);
+                }
+            }
+        } else if (ev.kind == EV_BANK_DONE) {
+            Bank *bank = &s.banks[ev.a];
+            if (ev.b != bank->token || bank->job_kind == JOB_NONE) continue;
+            int32_t jkind = bank->job_kind;
+            bank->job_kind = JOB_NONE;
+            if (jkind == JOB_READ) {
+                if (s.dq_len >= DQ_CAP) {
+                    s.err = ERR_DQ;
+                    break;
+                }
+                RdPay *pay = &s.dq[(s.dq_head + s.dq_len) % DQ_CAP];
+                pay->core = bank->jp_core;
+                pay->depth = bank->jp_depth;
+                pay->line = bank->jp_line;
+                pay->enq = bank->jp_enq;
+                pay->start = bank->job_start;
+                s.dq_len += 1;
+                try_start_channel(&s, now);
+            } else {
+                complete_write(&s);
+                if (p->trace_on)
+                    emit_rec(&s, 1, ev.a, 0, 0, bank->jp_wline,
+                             bank->job_start, now, 0.0);
+            }
+            try_start_bank(&s, bank, ev.a, now);
+        } else if (ev.kind == EV_CHANNEL_DONE) {
+            if (ev.b != s.chan_token || !s.chan_active) continue;
+            s.chan_active = 0;
+            if (s.chan_last_was_scrub) {
+                s.sq_head = (s.sq_head + 1) % SQ_CAP;
+                s.sq_len -= 1;
+                for (int64_t i = 0; i < p->lines_per_scrub_op; i++)
+                    account_scrub(&s);
+            } else {
+                RdPay pay = s.dq[s.dq_head];
+                s.dq_head = (s.dq_head + 1) % DQ_CAP;
+                s.dq_len -= 1;
+                o->n_reads += 1;
+                double latency = now - pay.enq;
+                o->total_read_latency += latency;
+                touch_ecat(o, ECAT_READ);
+                o->acc_read_pj += p->pj_read;
+                if (p->tele_on) {
+                    lat[o->n_lat++] = latency;
+                    o->lat_sum += latency;
+                    if (p->trace_on)
+                        emit_rec(&s, 0, pay.core, pay.depth, 0, pay.line,
+                                 pay.enq, pay.start, now);
+                }
+                advance_core(&s, pay.core, now);
+            }
+            try_start_channel(&s, now);
+        } else { /* EV_SCRUB */
+            double now_s = p->epoch_s + now * 1e-9;
+            double duration = 0.0;
+            for (int64_t i = 0; i < p->lines_per_scrub_op; i++) {
+                int64_t line = s.scrub_pointer;
+                s.scrub_pointer = (s.scrub_pointer + 1) % p->total_lines;
+                if (!rep_push(&s, line, now_s, 1)) break;
+                duration += p->write_ns;
+            }
+            if (s.err) break;
+            duration += p->scrub_metric_read_ns;
+            int32_t skipped = 0;
+            if (p->scrub_blocks_channel) {
+                if (s.sq_len >= p->scrub_backlog_cap) {
+                    o->n_scrubs_skipped += p->lines_per_scrub_op;
+                    skipped = 1;
+                } else {
+                    if (s.sq_len >= SQ_CAP) {
+                        s.err = ERR_SQ;
+                        break;
+                    }
+                    s.sq_dur[(s.sq_head + s.sq_len) % SQ_CAP] = duration;
+                    s.sq_len += 1;
+                    try_start_channel(&s, now);
+                }
+            } else {
+                for (int64_t i = 0; i < p->lines_per_scrub_op; i++)
+                    account_scrub(&s);
+            }
+            if (p->trace_on)
+                emit_rec(&s, 3, (int32_t)p->lines_per_scrub_op,
+                         (int32_t)p->lines_per_scrub_op, skipped, 0, now,
+                         duration, 0.0);
+            heap_push(&s, now + p->scrub_tick_ns, EV_SCRUB, 0, 0);
+        }
+    }
+
+    if (!s.err) {
+        /* Flush pending writes exactly as the scalar engine does. */
+        for (int64_t i = 0; i < p->num_banks; i++) {
+            Bank *bank = &s.banks[i];
+            if (bank->job_kind == JOB_WRITE) {
+                complete_write(&s);
+                bank->job_kind = JOB_NONE;
+            }
+            for (int32_t j = 0; j < bank->wq_len; j++) complete_write(&s);
+            bank->wq_len = 0;
+        }
+        double m = 0.0;
+        for (int64_t c = 0; c < p->n_cores; c++)
+            if (s.finish[c] > m) m = s.finish[c];
+        o->exec_time_ns = m;
+    }
+    o->error = s.err;
+
+cleanup:
+    free(s.heap);
+    free(s.banks);
+    free(s.pos);
+    free(s.finish);
+    free(s.done);
+    free(s.lw.keys);
+    free(s.lw.vals);
+    return o->error;
+}

@@ -44,7 +44,7 @@ from .config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
 from .policy import ReadDecision, ReadMode, SchemePolicy
 from .stats import RunStats
 
-__all__ = ["MemorySystemSim", "simulate"]
+__all__ = ["ENGINES", "MemorySystemSim", "simulate"]
 
 # Event kinds (heap entries are (time_ns, seq, kind, a, b)).
 _EV_CORE = 0  # a = core id
@@ -717,6 +717,10 @@ class MemorySystemSim:
             bank.write_q.clear()
 
 
+#: Engines selectable through :func:`simulate` (and ``SimSpec.engine``).
+ENGINES = ("batch", "event")
+
+
 def simulate(
     trace: Trace,
     policy: SchemePolicy,
@@ -724,8 +728,26 @@ def simulate(
     epoch_s: float = DEFAULT_EPOCH_S,
     telemetry: Optional[Telemetry] = None,
     faults: Optional[FaultInjector] = None,
+    engine: str = "batch",
 ) -> RunStats:
-    """Convenience wrapper: build a sim, run it, return the stats."""
+    """Run one simulation on the selected engine.
+
+    ``engine="batch"`` (default) uses the vectorized batch kernel in
+    :mod:`repro.memsim.batch` — the fast path; ``engine="event"`` runs
+    this module's event-level :class:`MemorySystemSim`, kept as the
+    cross-check oracle. The two are bit-for-bit identical (stats, policy
+    state, telemetry; enforced by tests/test_batch_equivalence.py), which
+    is why the flag is deliberately *not* part of ``SimSpec`` identity:
+    cached artifacts and sweep digests are engine-independent.
+    """
+    if engine == "batch":
+        from .batch import simulate_batch
+
+        return simulate_batch(
+            trace, policy, config, epoch_s=epoch_s, telemetry=telemetry, faults=faults
+        )
+    if engine != "event":
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     return MemorySystemSim(
         trace, policy, config, epoch_s=epoch_s, telemetry=telemetry, faults=faults
     ).run()

@@ -1,0 +1,251 @@
+"""Build and load the native timeline kernel (``_timeline.c``).
+
+The batch engine's speculative fast path (:mod:`repro.memsim.fastpath`)
+uses a small C kernel for the event-loop machinery. The kernel is
+compiled on first use with the system C compiler into a per-user cache
+directory and loaded through :mod:`ctypes`; when no compiler is
+available (or ``READDUO_NO_NATIVE=1`` is set) :func:`load_timeline`
+returns ``None`` and the batch engine transparently falls back to the
+pure-Python exact-replay loop — slower, but bit-identical, so the
+presence of a compiler can never change a result.
+
+Compilation deliberately avoids every flag that could alter IEEE-754
+semantics: ``-O2`` only, plus ``-ffp-contract=off`` so no fused
+multiply-add changes a rounding against CPython's float arithmetic.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+__all__ = [
+    "TimelineParams",
+    "TimelineOut",
+    "TRACE_REC_DTYPE",
+    "load_timeline",
+    "native_available",
+]
+
+_C_INT64 = ctypes.c_int64
+_C_INT32 = ctypes.c_int32
+_C_DOUBLE = ctypes.c_double
+_P_INT64 = ctypes.POINTER(ctypes.c_int64)
+_P_INT32 = ctypes.POINTER(ctypes.c_int32)
+_P_INT8 = ctypes.POINTER(ctypes.c_int8)
+_P_DOUBLE = ctypes.POINTER(ctypes.c_double)
+
+
+class TimelineParams(ctypes.Structure):
+    """Mirror of ``Params`` in ``_timeline.c`` (field order must match)."""
+
+    _fields_ = [
+        ("n_cores", _C_INT64),
+        ("core_off", _P_INT64),
+        ("ops", _P_INT8),
+        ("lines", _P_INT64),
+        ("gaps_ns", _P_DOUBLE),
+        ("op_read", _C_INT32),
+        ("pad0", _C_INT32),
+        ("num_banks", _C_INT64),
+        ("write_queue_depth", _C_INT64),
+        ("cancel_threshold", _C_DOUBLE),
+        ("write_ns", _C_DOUBLE),
+        ("bus_ns", _C_DOUBLE),
+        ("read_lat_ns", _C_DOUBLE),
+        ("scrub_on", _C_INT32),
+        ("scrub_blocks_channel", _C_INT32),
+        ("scrub_tick_ns", _C_DOUBLE),
+        ("lines_per_scrub_op", _C_INT64),
+        ("total_lines", _C_INT64),
+        ("scrub_backlog_cap", _C_INT64),
+        ("scrub_metric_read_ns", _C_DOUBLE),
+        ("use_age", _C_INT32),
+        ("use_spa", _C_INT32),
+        ("scrub_interval_s", _C_DOUBLE),
+        ("epoch_s", _C_DOUBLE),
+        ("half_lines", _C_INT64),
+        ("pj_read", _C_DOUBLE),
+        ("pj_per_cell", _C_DOUBLE),
+        ("pj_scrub_read", _C_DOUBLE),
+        ("write_cells", _C_INT64),
+        ("full_cells", _C_INT64),
+        ("n_birth", _C_INT64),
+        ("birth_lines", _P_INT64),
+        ("birth_times", _P_DOUBLE),
+        ("tele_on", _C_INT32),
+        ("trace_on", _C_INT32),
+        ("ages_cap", _C_INT64),
+        ("rep_cap", _C_INT64),
+        ("rec_cap", _C_INT64),
+    ]
+
+
+class TimelineOut(ctypes.Structure):
+    """Mirror of ``Out`` in ``_timeline.c``."""
+
+    _fields_ = [
+        ("n_reads", _C_INT64),
+        ("n_writes", _C_INT64),
+        ("n_cancelled", _C_INT64),
+        ("n_scrub_ops", _C_INT64),
+        ("n_scrub_rewrites", _C_INT64),
+        ("n_scrubs_skipped", _C_INT64),
+        ("seq", _C_INT64),
+        ("total_read_latency", _C_DOUBLE),
+        ("exec_time_ns", _C_DOUBLE),
+        ("acc_read_pj", _C_DOUBLE),
+        ("acc_write_pj", _C_DOUBLE),
+        ("acc_scrub_read_pj", _C_DOUBLE),
+        ("acc_scrub_write_pj", _C_DOUBLE),
+        ("wear_demand", _C_INT64),
+        ("wear_scrub", _C_INT64),
+        ("lat_sum", _C_DOUBLE),
+        ("depth_sum", _C_DOUBLE),
+        ("n_ages", _C_INT64),
+        ("n_rep", _C_INT64),
+        ("n_rec", _C_INT64),
+        ("n_lat", _C_INT64),
+        ("n_depth", _C_INT64),
+        ("ecat_order", _C_INT32 * 4),
+        ("n_ecat", _C_INT32),
+        ("wcat_order", _C_INT32 * 2),
+        ("n_wcat", _C_INT32),
+        ("pad0", _C_INT32),
+        ("error", _C_INT64),
+    ]
+
+
+#: numpy dtype of the compact tracer record (``TraceRec`` in C); the
+#: lazy materializer iterates this to build the exported dicts.
+TRACE_REC_DTYPE = [
+    ("f1", "<f8"),
+    ("f2", "<f8"),
+    ("f3", "<f8"),
+    ("line", "<i8"),
+    ("kind", "<i4"),
+    ("a", "<i4"),
+    ("b", "<i4"),
+    ("c", "<i4"),
+]
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_timeline.c")
+
+#: Error codes from the kernel that mean "retry with larger buffers".
+RETRYABLE_ERRORS = frozenset({8, 10})  # ERR_REP, ERR_REC
+
+_UNSET = object()
+_lib: object = _UNSET
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        found = _which(name)
+        if found:
+            return found
+    return None
+
+
+def _which(name: str) -> Optional[str]:
+    for directory in os.environ.get("PATH", "").split(os.pathsep):
+        candidate = os.path.join(directory, name)
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return candidate
+    return None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("READDUO_NATIVE_CACHE")
+    if override:
+        return override
+    uid = getattr(os, "getuid", lambda: 0)()
+    return os.path.join(tempfile.gettempdir(), "readduo-native-%d" % uid)
+
+
+def _build() -> Optional[str]:
+    cc = _compiler()
+    if cc is None:
+        return None
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source = handle.read()
+    except OSError:
+        return None
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(
+        cache, "timeline-%s-py%d%d.so" % (tag, sys.version_info[0], sys.version_info[1])
+    )
+    if os.path.exists(so_path):
+        return so_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        tmp_path = so_path + ".tmp-%d" % os.getpid()
+        cmd = [
+            cc,
+            "-O2",
+            "-fPIC",
+            "-shared",
+            "-ffp-contract=off",
+            "-o",
+            tmp_path,
+            _SOURCE,
+            "-lm",
+        ]
+        result = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=120
+        )
+        if result.returncode != 0:
+            return None
+        os.replace(tmp_path, so_path)
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def load_timeline():
+    """The loaded kernel library, or ``None`` when unavailable.
+
+    Memoized (including the failure case) so the compile/probe cost is
+    paid at most once per process.
+    """
+    global _lib
+    if _lib is not _UNSET:
+        return _lib
+    if os.environ.get("READDUO_NO_NATIVE"):
+        _lib = None
+        return None
+    so_path = _build()
+    if so_path is None:
+        _lib = None
+        return None
+    try:
+        lib = ctypes.CDLL(so_path)
+        fn = lib.run_timeline
+    except (OSError, AttributeError):
+        _lib = None
+        return None
+    fn.restype = _C_INT64
+    fn.argtypes = [
+        ctypes.POINTER(TimelineParams),
+        ctypes.POINTER(TimelineOut),
+        _P_DOUBLE,  # ages
+        _P_INT64,  # rep_lines
+        _P_DOUBLE,  # rep_times
+        _P_INT8,  # rep_kind
+        _P_DOUBLE,  # lat
+        _P_INT32,  # depth
+        ctypes.c_void_p,  # recs
+    ]
+    _lib = lib
+    return lib
+
+
+def native_available() -> bool:
+    """Whether the compiled kernel is usable in this process."""
+    return load_timeline() is not None

@@ -36,7 +36,7 @@ for the full schema.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 __all__ = ["Tracer", "NullTracer", "chrome_trace_events"]
 
@@ -60,19 +60,64 @@ class Tracer:
     enabled = True
 
     def __init__(self, max_events: int = 2_000_000) -> None:
-        self.records: List[Dict] = []
+        self._records: List[Dict] = []
         self.max_events = max_events
-        self.dropped = 0
+        self._dropped = 0
+        # Deferred record batches from the batch engine's fast path:
+        # (count, dropped, builder). Builders append fully-formed dicts;
+        # they run lazily on first access to :attr:`records` so runs that
+        # never export a trace skip the dict construction entirely.
+        self._pending: List[Tuple[int, int, Callable[[List[Dict]], None]]] = []
+        self._pending_count = 0
+        self._pending_dropped = 0
+
+    @property
+    def records(self) -> List[Dict]:
+        """All retained records (materializes any deferred batches)."""
+        self._materialize()
+        return self._records
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded over :attr:`max_events` (lazy-batch aware)."""
+        return self._dropped + self._pending_dropped
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._dropped = value - self._pending_dropped
+
+    def defer(
+        self, count: int, dropped: int, builder: Callable[[List[Dict]], None]
+    ) -> None:
+        """Register a lazy batch of ``count`` records (+ ``dropped``).
+
+        ``builder(records)`` must append exactly ``count`` dicts; it runs
+        at most once, when (and if) the records are first read.
+        """
+        self._pending.append((count, dropped, builder))
+        self._pending_count += count
+        self._pending_dropped += dropped
+
+    def _materialize(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._pending_count = 0
+        self._pending_dropped = 0
+        for _count, dropped, builder in pending:
+            builder(self._records)
+            self._dropped += dropped
 
     def emit(self, record: Dict) -> None:
         """Append one flat dict record (must be JSON-serializable)."""
-        if len(self.records) >= self.max_events:
-            self.dropped += 1
+        self._materialize()  # keep record order across deferred batches
+        if len(self._records) >= self.max_events:
+            self._dropped += 1
             return
-        self.records.append(record)
+        self._records.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) + self._pending_count
 
     # ------------------------------------------------------------- export
 

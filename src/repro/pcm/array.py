@@ -223,6 +223,35 @@ class CellArray:
             sensed_levels=sensed, stored_levels=stored.copy(), cell_errors=errors
         )
 
+    def read_lines(
+        self, lines: np.ndarray, now_s: float, metric: str = "R"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch-sense many lines at one absolute time (repeats allowed).
+
+        The vectorized counterpart of :func:`read_line` for the batch
+        simulation kernel and Monte-Carlo sweeps: one gather plus one
+        array quantization replaces a Python loop of per-line reads.
+
+        Args:
+            lines: Integer line indices, any shape; a line may appear
+                more than once (each occurrence is an independent read
+                of the same drifted state).
+            now_s: Absolute sense time applied to every read.
+            metric: ``"R"`` or ``"M"``.
+
+        Returns:
+            ``(sensed_levels, cell_errors)`` — levels with shape
+            ``lines.shape + (cells_per_line,)`` and the per-read
+            wrong-cell counts with shape ``lines.shape``.
+        """
+        params, base, alpha = self._metric_state(metric)
+        idx = np.asarray(lines, dtype=np.int64)
+        elapsed = np.maximum(now_s - self.write_time[idx], 0.0)
+        lam = np.log10(np.maximum(elapsed, params.t0) / params.t0)
+        sensed = sense_levels(params, base[idx] + alpha[idx] * lam)
+        errors = np.count_nonzero(sensed != self.levels[idx], axis=-1)
+        return sensed, errors
+
     def count_drift_errors(
         self, now_s: float, metric: str = "R"
     ) -> np.ndarray:

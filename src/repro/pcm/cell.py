@@ -14,7 +14,7 @@ All functions accept scalars or numpy arrays of levels and broadcast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ __all__ = [
     "drift_log10",
     "drifted_log10",
     "Cell",
+    "sense_cells_at",
 ]
 
 ArrayLike = Union[int, np.ndarray]
@@ -155,12 +156,34 @@ class Cell:
     def sense_at(self, params: MetricParams, now_s: float) -> int:
         """The level a sense amplifier reports at ``now_s``."""
         value = self.value_log10_at(params, now_s)
-        level = 0
-        for threshold in params.thresholds:
-            if value > threshold:
-                level += 1
-        return level
+        return int(np.searchsorted(params.thresholds, value, side="left"))
 
     def has_drift_error_at(self, params: MetricParams, now_s: float) -> bool:
         """Whether sensing at ``now_s`` would return the wrong level."""
         return self.sense_at(params, now_s) != self.level
+
+
+def sense_cells_at(
+    params: MetricParams, cells: Sequence["Cell"], now_s: float
+) -> np.ndarray:
+    """Batch-sense many :class:`Cell` objects at one absolute time.
+
+    The vectorized counterpart of :meth:`Cell.sense_at`: one drift
+    evaluation and one quantization over the whole batch instead of a
+    Python call per cell (fine-grained Monte-Carlo demos get the same
+    array-at-once treatment as the batch simulation kernel).
+
+    Returns:
+        ``int64`` array of sensed levels, one per cell.
+    """
+    if not cells:
+        return np.zeros(0, dtype=np.int64)
+    initial = np.asarray([c.log10_value for c in cells], dtype=np.float64)
+    alpha = np.asarray([c.alpha for c in cells], dtype=np.float64)
+    elapsed = np.maximum(
+        now_s - np.asarray([c.write_time_s for c in cells], dtype=np.float64),
+        0.0,
+    )
+    values = drifted_log10(params, initial, alpha, elapsed)
+    thresholds = np.asarray(params.thresholds, dtype=np.float64)
+    return np.searchsorted(thresholds, values, side="left").astype(np.int64)

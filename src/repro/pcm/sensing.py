@@ -73,6 +73,20 @@ class SenseAmplifier:
         self.cells_sensed += int(values.size)
         return sense_levels(self.params, values)
 
+    def sense_batch(self, log10_values: np.ndarray) -> np.ndarray:
+        """Sense a ``(lines, cells)`` batch in one quantization pass.
+
+        Accounting matches ``lines`` sequential :meth:`sense` calls; the
+        batch simulation kernel uses this to amortize the numpy dispatch
+        overhead across a whole read window.
+        """
+        values = np.asarray(log10_values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("sense_batch expects a (lines, cells) array")
+        self.reads += values.shape[0]
+        self.cells_sensed += int(values.size)
+        return sense_levels(self.params, values)
+
     def read_energy_pj(self, data_bits: int) -> float:
         """Dynamic energy of one line read of ``data_bits`` bits."""
         return self.energy.read_energy_pj(self.params.name, data_bits)
