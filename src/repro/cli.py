@@ -18,9 +18,14 @@ Subcommands:
   curve (see :mod:`repro.experiments.faults` and docs/RESILIENCE.md).
 * ``bench`` — rerun the engine benchmark scenarios (single-run
   throughput, telemetry overhead, batch-kernel speedup vs the
-  event-level oracle) and rewrite ``results/BENCH_sweep.json`` through
-  the same code path the ``benchmarks/`` harness uses (see
-  docs/PERFORMANCE.md).
+  event-level oracle), rewrite ``results/BENCH_sweep.json`` through
+  the same code path the ``benchmarks/`` harness uses, and append one
+  entry to ``results/BENCH_history.jsonl`` (see docs/PERFORMANCE.md).
+* ``report`` — aggregate a run-provenance ledger (``--ledger``) and/or
+  metrics snapshot into cache-tier hit ratios, speculation success
+  rates, slowest units, and per-worker utilization; ``report --bench``
+  compares the latest two benchmark history entries and can gate on
+  regressions (``--fail-on-regression``).
 
 ``simulate`` and ``sweep`` accept ``--engine {batch,event}``: ``batch``
 (default) is the vectorized batch kernel, ``event`` the event-level
@@ -37,10 +42,13 @@ distinct unit once, and renders all artifacts from the shared results
 (:mod:`repro.experiments.planner`).
 
 Observability (see docs/OBSERVABILITY.md): ``simulate``/``sweep``/``run``
-accept ``--trace FILE`` (event trace; ``.jsonl`` for raw lines, anything
-else for Chrome ``trace_event`` JSON loadable in chrome://tracing or
-Perfetto), ``--metrics FILE`` (counter/gauge/histogram dump), and
-``-v``/``--log-level`` (stderr diagnostics via stdlib logging). Stdout
+accept ``--trace FILE`` (event trace + pipeline spans; ``.jsonl`` for raw
+lines, anything else for Chrome ``trace_event`` JSON loadable in
+chrome://tracing or Perfetto), ``--metrics FILE`` (counter/gauge/
+histogram dump), and ``-v``/``--log-level`` (stderr diagnostics via
+stdlib logging, propagated into ``--jobs`` worker processes).
+``run``/``sweep``/``faults`` additionally accept ``--ledger FILE``, the
+append-only run-provenance ledger ``readduo report`` summarizes. Stdout
 stays reserved for command output — ``sweep --output -`` emits pure
 JSON; every progress or summary line goes to stderr.
 """
@@ -51,7 +59,8 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from .core.registry import (
     canonical_scheme_name,
@@ -65,6 +74,8 @@ from .experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
 from .memsim.config import MemoryConfig
 from .memsim.engine import simulate
 from .obs import MetricsRegistry, Telemetry, Tracer, configure_logging, get_logger
+from .obs.progress import set_progress_allowed
+from .obs.spans import SpanTracker, maybe_span, tracker_scope
 from .traces.generator import generate_trace
 from .traces.spec import instructions_for_requests, workload, workload_names
 
@@ -100,22 +111,78 @@ def _reject_unknown_schemes(schemes: Sequence[str]) -> int:
 def _build_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
     """One Telemetry bundle per command invocation, or None when all off.
 
-    A tracer is created whenever either flag is present: ``--metrics``
+    A tracer is created whenever any flag is present: ``--metrics``
     needs sweep-batch records to summarize even if no trace file is
-    written.
+    written, and ``--ledger`` stamps the trace id onto its records.
     """
-    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+    if not (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "ledger", None)
+    ):
         return None
+    ledger = None
+    if getattr(args, "ledger", None):
+        from .obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger)
     return Telemetry(
         tracer=Tracer(),
         metrics=MetricsRegistry() if args.metrics else None,
+        ledger=ledger,
     )
 
 
+@contextmanager
+def _cli_tracker(
+    args: argparse.Namespace, tele: Optional[Telemetry], command: str
+) -> Iterator[None]:
+    """Span tracing + telemetry export for one command invocation.
+
+    When a tracer is attached, every span the pipeline opens (plan
+    build, cache tiers, executor, fastpath) lands in the command's
+    tracer under a ``cli.<command>`` root span, one trace id. On the way
+    out the telemetry files are exported *after* the root span closed —
+    so the written trace contains the complete, well-formed span tree
+    (the export span rides along as a root-level sibling; only the trace
+    file write itself is uninstrumented, necessarily).
+    """
+    if tele is None or tele.tracer is None or not tele.tracer.enabled:
+        yield
+        _write_telemetry_files(args, tele)
+        return
+    tracker = SpanTracker(tele.tracer.emit)
+    with tracker_scope(tracker):
+        with tracker.span(f"cli.{command}"):
+            yield
+        _write_telemetry_files(args, tele)
+
+
 def _write_telemetry_files(args: argparse.Namespace, tele: Optional[Telemetry]) -> None:
-    """Export --trace/--metrics files; summary notes go to stderr."""
+    """Export --trace/--metrics files, close the ledger; notes to stderr.
+
+    The export itself is spanned (``telemetry.export``): the span closes
+    — and is emitted — before the trace file is written, so the written
+    trace includes its own export accounting for everything but itself.
+    """
     if tele is None:
         return
+    with maybe_span(
+        "telemetry.export",
+        trace=bool(getattr(args, "trace", None)),
+        metrics=bool(getattr(args, "metrics", None)),
+        ledger=bool(getattr(args, "ledger", None)),
+    ):
+        if getattr(args, "metrics", None):
+            tele.metrics.dump_json(args.metrics)
+            print(f"wrote metrics {args.metrics}", file=sys.stderr)
+        if tele.ledger is not None:
+            tele.ledger.close()
+            print(
+                f"wrote ledger {args.ledger}: "
+                f"{tele.ledger.records_written} record(s) appended",
+                file=sys.stderr,
+            )
     if getattr(args, "trace", None):
         tele.tracer.write(args.trace)
         print(
@@ -123,9 +190,6 @@ def _write_telemetry_files(args: argparse.Namespace, tele: Optional[Telemetry]) 
             + (f" ({tele.tracer.dropped} dropped)" if tele.tracer.dropped else ""),
             file=sys.stderr,
         )
-    if getattr(args, "metrics", None):
-        tele.metrics.dump_json(args.metrics)
-        print(f"wrote metrics {args.metrics}", file=sys.stderr)
 
 
 def _prewarm_plan(
@@ -190,23 +254,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     prev_jobs, prev_cache, prev_tele = configure_sweep_defaults(
         jobs=args.jobs, cache=not args.no_cache, telemetry=tele
     )
-    try:
-        _prewarm_plan(names, args, tele)
-        for name in names:
-            driver = EXPERIMENTS[name]
-            kwargs = {}
-            if args.quick and name in SWEEP_EXPERIMENTS:
-                kwargs["target_requests"] = args.quick_requests
-            started = time.perf_counter()
-            result = driver(**kwargs)
-            print(result.render())
-            print()
-            _log.info("%s done in %.2fs", name, time.perf_counter() - started)
-    finally:
-        configure_sweep_defaults(
-            jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
-        )
-    _write_telemetry_files(args, tele)
+    with _cli_tracker(args, tele, "run"):
+        try:
+            _prewarm_plan(names, args, tele)
+            for name in names:
+                driver = EXPERIMENTS[name]
+                kwargs = {}
+                if args.quick and name in SWEEP_EXPERIMENTS:
+                    kwargs["target_requests"] = args.quick_requests
+                started = time.perf_counter()
+                result = driver(**kwargs)
+                print(result.render())
+                print()
+                _log.info("%s done in %.2fs", name, time.perf_counter() - started)
+        finally:
+            configure_sweep_defaults(
+                jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
+            )
     return 0
 
 
@@ -231,27 +295,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     tele = _build_telemetry(args)
     started = time.perf_counter()
-    stats = simulate(trace, policy, config, telemetry=tele, engine=args.engine)
-    _log.info(
-        "simulated %d requests in %.2fs", len(trace), time.perf_counter() - started
-    )
-    print(f"workload={stats.workload} scheme={stats.scheme}")
-    for key, value in stats.summary().items():
-        if key in ("scheme", "workload"):
-            continue
-        print(f"  {key:14s} {value}")
-    print("  energy by category (uJ):")
-    for category, pj in sorted(stats.energy.by_category.items()):
-        print(f"    {category:12s} {pj / 1e6:.3f}")
-    print("  cell writes by cause:")
-    for cause, cells in sorted(stats.wear.by_cause.items()):
-        print(f"    {cause:12s} {cells}")
-    if tele is not None:
-        hist = stats.read_latency_hist
-        print("  read latency percentiles (ns, bucket upper bounds):")
-        for q in (50, 90, 99):
-            print(f"    p{q:<10d} {hist.percentile(q):.0f}")
-    _write_telemetry_files(args, tele)
+    with _cli_tracker(args, tele, "simulate"):
+        with maybe_span(
+            "unit.simulate", workload=args.workload, scheme=scheme
+        ):
+            stats = simulate(
+                trace, policy, config, telemetry=tele, engine=args.engine
+            )
+        _log.info(
+            "simulated %d requests in %.2fs",
+            len(trace), time.perf_counter() - started,
+        )
+        print(f"workload={stats.workload} scheme={stats.scheme}")
+        for key, value in stats.summary().items():
+            if key in ("scheme", "workload"):
+                continue
+            print(f"  {key:14s} {value}")
+        print("  energy by category (uJ):")
+        for category, pj in sorted(stats.energy.by_category.items()):
+            print(f"    {category:12s} {pj / 1e6:.3f}")
+        print("  cell writes by cause:")
+        for cause, cells in sorted(stats.wear.by_cause.items()):
+            print(f"    {cause:12s} {cells}")
+        if tele is not None:
+            hist = stats.read_latency_hist
+            print("  read latency percentiles (ns, bucket upper bounds):")
+            for q in (50, 90, 99):
+                print(f"    p{q:<10d} {hist.percentile(q):.0f}")
     return 0
 
 
@@ -310,59 +380,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # to report (run_sweep would otherwise build an anonymous one).
     cache = False if args.no_cache else SweepCache()
     started = time.perf_counter()
-    sweep = run_sweep(settings, jobs=args.jobs, cache=cache, telemetry=tele)
-    wall_s = time.perf_counter() - started
-    payload = {
-        "target_requests": settings.target_requests,
-        "seed": settings.seed,
-        "runs": {
-            workload_name: {
-                scheme: {
-                    **stats.summary(),
-                    "execution_time_ns": stats.execution_time_ns,
-                    "dynamic_energy_pj": stats.dynamic_energy_pj,
-                    "total_cell_writes": stats.total_cell_writes,
-                    "energy_by_category_pj": stats.energy.by_category,
-                    "wear_by_cause_cells": stats.wear.by_cause,
+    with _cli_tracker(args, tele, "sweep"):
+        sweep = run_sweep(settings, jobs=args.jobs, cache=cache, telemetry=tele)
+        wall_s = time.perf_counter() - started
+        payload = {
+            "target_requests": settings.target_requests,
+            "seed": settings.seed,
+            "runs": {
+                workload_name: {
+                    scheme: {
+                        **stats.summary(),
+                        "execution_time_ns": stats.execution_time_ns,
+                        "dynamic_energy_pj": stats.dynamic_energy_pj,
+                        "total_cell_writes": stats.total_cell_writes,
+                        "energy_by_category_pj": stats.energy.by_category,
+                        "wear_by_cause_cells": stats.wear.by_cause,
+                    }
+                    for scheme, stats in per_scheme.items()
                 }
-                for scheme, stats in per_scheme.items()
-            }
-            for workload_name, per_scheme in sweep.items()
-        },
-    }
-    if tele is not None:
-        # Only telemetry-enabled invocations get the extra key: the
-        # default payload must stay byte-identical across cold and warm
-        # runs (CI compares them) and with older exports.
-        counters = cache.counters.as_dict() if isinstance(cache, SweepCache) else None
-        payload["telemetry"] = {
-            "wall_time_s": wall_s,
-            "jobs": args.jobs,
-            "cache": counters,
-            "batches": [
-                {k: r[k] for k in ("workload", "schemes", "seconds")}
-                for r in tele.tracer.records
-                if r.get("kind") == "sweep_batch"
-            ],
+                for workload_name, per_scheme in sweep.items()
+            },
         }
-        if tele.metrics is not None:
-            m = tele.metrics
-            m.gauge("sweep.cli_wall_s").set(wall_s)
-            if counters:
-                for key, value in counters.items():
-                    m.counter(f"sweep.cache.{key}").inc(value)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if args.output == "-":
-        print(text)
-    else:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(
-            f"wrote {args.output}: {len(payload['runs'])} workloads x "
-            f"{len(settings.schemes)} schemes",
-            file=sys.stderr,
-        )
-    _write_telemetry_files(args, tele)
+        if tele is not None:
+            # Only telemetry-enabled invocations get the extra key: the
+            # default payload must stay byte-identical across cold and warm
+            # runs (CI compares them) and with older exports.
+            counters = (
+                cache.counters.as_dict() if isinstance(cache, SweepCache) else None
+            )
+            payload["telemetry"] = {
+                "wall_time_s": wall_s,
+                "jobs": args.jobs,
+                "cache": counters,
+                "batches": [
+                    {k: r[k] for k in ("workload", "schemes", "seconds")}
+                    for r in tele.tracer.records
+                    if r.get("kind") == "sweep_batch"
+                ],
+            }
+            if tele.metrics is not None:
+                m = tele.metrics
+                m.gauge("sweep.cli_wall_s").set(wall_s)
+                if counters:
+                    for key, value in counters.items():
+                        m.counter(f"sweep.cache.{key}").inc(value)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(
+                f"wrote {args.output}: {len(payload['runs'])} workloads x "
+                f"{len(settings.schemes)} schemes",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -384,46 +456,125 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         jobs=args.jobs, cache=not args.no_cache, telemetry=tele
     )
     started = time.perf_counter()
-    try:
-        result = fault_density_study(
-            densities=tuple(densities),
-            workload_name=args.workload,
-            scheme=scheme,
-            target_requests=args.requests,
-            seed=args.seed,
-            read_noise_rate=args.read_noise,
-            write_fail_rate=args.write_fail,
-            fault_seed=args.fault_seed,
+    with _cli_tracker(args, tele, "faults"):
+        try:
+            result = fault_density_study(
+                densities=tuple(densities),
+                workload_name=args.workload,
+                scheme=scheme,
+                target_requests=args.requests,
+                seed=args.seed,
+                read_noise_rate=args.read_noise,
+                write_fail_rate=args.write_fail,
+                fault_seed=args.fault_seed,
+            )
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        finally:
+            configure_sweep_defaults(
+                jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
+            )
+        _log.info(
+            "fault-density study done in %.2fs", time.perf_counter() - started
         )
-    except SpecError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    finally:
-        configure_sweep_defaults(
-            jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
-        )
-    _log.info(
-        "fault-density study done in %.2fs", time.perf_counter() - started
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            **result.extra,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.output == "-":
+            # Pure JSON on stdout; the human-readable table moves to stderr.
+            print(result.render(), file=sys.stderr)
+            print(text)
+        else:
+            print(result.render())
+            if args.output is not None:
+                with open(args.output, "w") as handle:
+                    handle.write(text + "\n")
+                print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate ledger / metrics / benchmark history into a report.
+
+    Exit codes: 0 on success, 2 on usage or unreadable-input errors, 3
+    when ``--fail-on-regression`` is set and the benchmark comparison
+    flags at least one regression.
+    """
+    import os
+
+    from .experiments.bench import load_bench_history
+    from .obs.report import (
+        compare_bench_entries,
+        last_invocation,
+        parse_ledger_lines,
+        render_bench_report,
+        render_ledger_report,
+        summarize_ledger,
+        summarize_metrics,
     )
-    payload = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "headers": result.headers,
-        "rows": result.rows,
-        **result.extra,
-    }
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if args.output == "-":
-        # Pure JSON on stdout; the human-readable table moves to stderr.
-        print(result.render(), file=sys.stderr)
-        print(text)
+
+    if args.bench:
+        history_path = args.history
+        if not os.path.exists(history_path):
+            print(f"no benchmark history at {history_path} "
+                  "(run `readduo bench` to create it)", file=sys.stderr)
+            return 2
+        entries = load_bench_history(history_path)
+        if len(entries) < 2:
+            print(
+                f"{history_path}: need at least 2 history entries to compare "
+                f"(have {len(entries)}); run `readduo bench` again",
+                file=sys.stderr,
+            )
+            return 2
+        rows = compare_bench_entries(entries[-2], entries[-1], args.threshold)
+        if args.json:
+            print(json.dumps(
+                {"threshold_pct": args.threshold, "comparisons": rows},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_bench_report(rows, args.threshold))
+        if args.fail_on_regression and any(row["regressed"] for row in rows):
+            return 3
+        return 0
+
+    if not args.ledger:
+        print("report needs --ledger FILE (or --bench)", file=sys.stderr)
+        return 2
+    try:
+        with open(args.ledger, "r", encoding="utf-8") as handle:
+            records = parse_ledger_lines(handle.readlines())
+    except OSError as exc:
+        print(f"cannot read ledger {args.ledger}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.ledger}: no ledger records", file=sys.stderr)
+        return 2
+    if args.last:
+        records = last_invocation(records)
+    summary = summarize_ledger(records, top=args.top)
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                metrics = summarize_metrics(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read metrics {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        payload = dict(summary)
+        if metrics is not None:
+            payload["metrics"] = metrics
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(result.render())
-        if args.output is not None:
-            with open(args.output, "w") as handle:
-                handle.write(text + "\n")
-            print(f"wrote {args.output}", file=sys.stderr)
-    _write_telemetry_files(args, tele)
+        print(render_ledger_report(summary, metrics))
     return 0
 
 
@@ -467,7 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--quick-requests", type=int, default=4000,
                        help="requests per trace in --quick mode")
     _add_sweep_execution_flags(p_run)
-    _add_observability_flags(p_run)
+    _add_observability_flags(p_run, ledger=True)
     p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="run one workload under one scheme")
@@ -500,7 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Default None so a --spec file's engine wins unless overridden.
     _add_engine_flag(p_sweep, default=None)
     _add_sweep_execution_flags(p_sweep)
-    _add_observability_flags(p_sweep)
+    _add_observability_flags(p_sweep, ledger=True)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_faults = sub.add_parser(
@@ -528,7 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the study as JSON "
                                "('-' prints JSON to stdout)")
     _add_sweep_execution_flags(p_faults)
-    _add_observability_flags(p_faults)
+    _add_observability_flags(p_faults, ledger=True)
     p_faults.set_defaults(func=_cmd_faults)
 
     p_bench = sub.add_parser(
@@ -544,6 +695,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding BENCH_sweep.json (default: results)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report",
+        help="aggregate a run-provenance ledger, metrics snapshot, or "
+             "benchmark history into a summary",
+    )
+    p_report.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="run-provenance ledger (JSONL) written by "
+             "run/sweep/faults --ledger",
+    )
+    p_report.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="metrics snapshot written by --metrics, summarized alongside "
+             "the ledger",
+    )
+    p_report.add_argument(
+        "--top", type=_positive_int, default=5, metavar="N",
+        help="slowest-unit list length (default: 5)",
+    )
+    p_report.add_argument(
+        "--last", action="store_true",
+        help="summarize only the final CLI invocation recorded in the "
+             "ledger (ledgers accumulate across runs)",
+    )
+    p_report.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregation as JSON instead of text",
+    )
+    p_report.add_argument(
+        "--bench", action="store_true",
+        help="compare the latest two `readduo bench` runs from the "
+             "benchmark history instead of reading a ledger",
+    )
+    p_report.add_argument(
+        "--history", metavar="FILE", default="results/BENCH_history.jsonl",
+        help="benchmark history file for --bench "
+             "(default: results/BENCH_history.jsonl)",
+    )
+    p_report.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="relative regression threshold for --bench, percent "
+             "(default: 5.0)",
+    )
+    p_report.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 3 when --bench flags a regression beyond the threshold",
+    )
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -580,7 +780,9 @@ def _add_sweep_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+def _add_observability_flags(
+    parser: argparse.ArgumentParser, ledger: bool = False
+) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="write an event trace: .jsonl for raw records, otherwise "
@@ -590,6 +792,12 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics", metavar="FILE", default=None,
         help="write a metrics dump (counters, gauges, latency histograms)",
     )
+    if ledger:
+        parser.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="append one run-provenance record per planned run unit "
+                 "(JSONL; summarize with `readduo report --ledger FILE`)",
+        )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0, dest="verbose",
         help="log progress to stderr (-v INFO, -vv DEBUG)",
@@ -609,7 +817,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         verbosity=getattr(args, "verbose", 0),
         level=getattr(args, "log_level", None),
     )
-    return args.func(args)
+    # Live progress/ETA lines are an application-level opt-in: enabled
+    # for interactive CLI runs, withheld when stdout is the data channel
+    # (--output -) so a piped invocation stays clean end to end. The
+    # progress module additionally suppresses them on non-TTY stderr.
+    previous_progress = set_progress_allowed(
+        getattr(args, "output", None) != "-"
+    )
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout; die quietly like any
+        # well-behaved pipeline member (devnull swallows the interpreter
+        # shutdown flush that would otherwise print a second traceback).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        set_progress_allowed(previous_progress)
 
 
 if __name__ == "__main__":

@@ -24,13 +24,20 @@ from typing import Callable, Dict, Optional, Tuple
 
 __all__ = [
     "DEFAULT_BENCH_REQUESTS",
+    "BENCH_HISTORY_NAME",
     "bench_meta",
     "bench_single_run",
     "bench_telemetry_overhead",
     "bench_batch_kernel",
     "merge_into_bench_json",
+    "append_bench_history",
+    "load_bench_history",
     "run_bench_suite",
 ]
+
+#: Append-only per-invocation history beside BENCH_sweep.json; the input
+#: of ``readduo report --bench`` (latest vs previous regression check).
+BENCH_HISTORY_NAME = "BENCH_history.jsonl"
 
 #: Requests per trace for the paper-scale scenarios (overridable by the
 #: CLI's ``--requests`` and the harness's ``READDUO_BENCH_REQUESTS``).
@@ -211,6 +218,39 @@ def merge_into_bench_json(results_dir: Path, fragment: Dict) -> Path:
     return path
 
 
+def append_bench_history(results_dir: Path, payload: Dict) -> Path:
+    """Append one suite run to ``results/BENCH_history.jsonl``.
+
+    Where ``BENCH_sweep.json`` keeps only the latest numbers (merged in
+    place), the history file keeps every invocation — one JSON line per
+    suite run, stamped with the wall-clock time — so regressions are
+    detectable by comparing the last two lines.
+    """
+    path = Path(results_dir) / BENCH_HISTORY_NAME
+    entry = dict(payload)
+    entry["t_s"] = time.time()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    return path
+
+
+def load_bench_history(path: Path) -> list:
+    """Parse a history file into entry dicts, skipping unreadable lines."""
+    entries = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
 def run_bench_suite(
     results_dir: Path,
     requests: int = DEFAULT_BENCH_REQUESTS,
@@ -259,4 +299,5 @@ def run_bench_suite(
     payload = json.loads(
         (results_dir / "BENCH_sweep.json").read_text()
     )
+    append_bench_history(results_dir, payload)
     return payload

@@ -29,12 +29,17 @@ is how the benchmark and CI smoke assert "warm rerun simulates zero".
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..memsim.engine import last_run_provenance
 from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
+from ..obs.progress import ProgressLine
+from ..obs.spans import SpanTracker, current_tracker, maybe_span, tracker_scope
 from .cache import RunCache, SweepCache
 from .parallel import run_units_parallel, simulate_unit
 from .spec import SimSpec
@@ -181,27 +186,35 @@ class ExecutionPlan:
 def build_plan(specs: Sequence[SimSpec]) -> ExecutionPlan:
     """Union the specs' run units and dedupe them by content hash."""
     specs = tuple(specs)
-    deduped: Dict[str, RunUnit] = {}
-    total = 0
-    for spec in specs:
-        for unit in plan_units(spec):
-            total += 1
-            if unit.key not in deduped:
-                deduped[unit.key] = unit
-    units = tuple(deduped.values())
-    stats = PlanStats(units_total=total, units_deduped=total - len(units))
+    with maybe_span("plan.build", specs=len(specs)) as span:
+        deduped: Dict[str, RunUnit] = {}
+        total = 0
+        for spec in specs:
+            for unit in plan_units(spec):
+                total += 1
+                if unit.key not in deduped:
+                    deduped[unit.key] = unit
+        units = tuple(deduped.values())
+        stats = PlanStats(units_total=total, units_deduped=total - len(units))
+        span.set_attr("units", len(units))
+        span.set_attr("deduped", stats.units_deduped)
     return ExecutionPlan(specs=specs, units=units, stats=stats)
 
 
 def _run_units_serial(
-    units: Sequence[RunUnit], telemetry: Optional[Telemetry]
+    units: Sequence[RunUnit],
+    telemetry: Optional[Telemetry],
+    provenance: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, RunStats]:
     """Execute units in order, in-process.
 
     Consecutive same-workload units are reported as one ``sweep_batch``
     tracer record (matching the pre-planner serial runner, whose batch
-    was exactly this group); each unit also emits a ``run_unit`` record.
-    The process-local trace memo makes the grouped units share a trace.
+    was exactly this group); each unit also emits a ``run_unit`` record
+    and a ``unit.simulate`` span when span tracing is active. The
+    process-local trace memo makes the grouped units share a trace.
+    ``provenance``, when given, is filled exactly like the parallel
+    executor's out-param (pid is this process).
     """
     tracer = telemetry.tracer if telemetry is not None else None
     results: Dict[str, RunStats] = {}
@@ -211,6 +224,7 @@ def _run_units_serial(
         for i, unit in enumerate(units)
         if i == 0 or unit.workload != units[i - 1].workload
     )
+    progress = ProgressLine(len(units), label="run units")
     index = 0
     batch_no = 0
     while index < len(units):
@@ -220,9 +234,26 @@ def _run_units_serial(
         batch_size = 0
         while index < len(units) and units[index].workload == name:
             unit = units[index]
+            unit_wall = time.time()
             unit_start = time.perf_counter()
-            results[unit.key] = simulate_unit(unit.spec, unit.workload, unit.scheme)
+            with maybe_span(
+                "unit.simulate", workload=unit.workload, scheme=unit.scheme
+            ) as span:
+                results[unit.key] = simulate_unit(
+                    unit.spec, unit.workload, unit.scheme
+                )
+                prov = last_run_provenance()
+                span.set_attr("engine", prov["engine"])
+                span.set_attr("fastpath", prov["fastpath"])
             unit_elapsed = time.perf_counter() - unit_start
+            if provenance is not None:
+                provenance[unit.key] = {
+                    "wall_s": unit_elapsed,
+                    "pid": os.getpid(),
+                    "t_s": unit_wall,
+                    "engine": prov["engine"],
+                    "fastpath": prov["fastpath"],
+                }
             if tracer is not None:
                 tracer.emit({
                     "kind": "run_unit",
@@ -233,6 +264,7 @@ def _run_units_serial(
                 })
             batch_size += 1
             index += 1
+            progress.update(index, detail=f"{unit.workload}/{unit.scheme}")
         elapsed = time.perf_counter() - batch_start
         _log.info(
             "sweep batch %d/%d: %s x %d schemes in %.2fs",
@@ -246,6 +278,7 @@ def _run_units_serial(
                 "seconds": elapsed,
                 "start_s": batch_start - serial_start,
             })
+    progress.close()
     return results
 
 
@@ -268,8 +301,11 @@ def execute_plan(
             keep their historical run-level semantics (hits = runs
             served from disk, misses = runs simulated).
         telemetry: Optional :class:`~repro.obs.Telemetry`; accumulates
-            ``plan.*`` counters and (serial path) ``sweep_batch`` /
-            ``run_unit`` tracer records.
+            ``plan.*`` counters, (serial path) ``sweep_batch`` /
+            ``run_unit`` tracer records, pipeline spans when a tracer is
+            live, and — when it carries a
+            :class:`~repro.obs.ledger.RunLedger` — one provenance record
+            per planned unit, in plan order.
 
     Returns:
         ``{unit.key: RunStats}`` covering every unit in the plan.
@@ -277,93 +313,146 @@ def execute_plan(
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     stats = plan.stats
-    overhead_start = time.perf_counter()
-    results: Dict[str, RunStats] = {}
-    pending: List[RunUnit] = []
-    for unit in plan.units:
-        memo_hit = _RUN_MEMO.get(unit.key)
-        if memo_hit is not None:
-            results[unit.key] = memo_hit
-            stats.units_memo += 1
-        else:
-            pending.append(unit)
-
-    run_cache = RunCache(cache.cache_dir) if cache is not None else None
-    if run_cache is not None and pending:
-        missing: List[RunUnit] = []
-        for unit in pending:
-            loaded = run_cache.load(unit.key)
-            if loaded is not None:
-                results[unit.key] = loaded
-                stats.units_disk += 1
-            else:
-                missing.append(unit)
-        pending = missing
-        stats.stale += run_cache.counters.stale
-        stats.quarantined += run_cache.counters.quarantined
-
-    if cache is not None and pending:
-        # Read-through migration: a legacy whole-sweep entry for any
-        # source spec can satisfy that spec's still-missing units; each
-        # migrated run is re-stored granularly so the next planner pass
-        # hits the per-run store directly.
-        pending_by_key = {unit.key: unit for unit in pending}
-        peeked = set()
-        for spec in plan.specs:
-            if not pending_by_key:
-                break
-            spec_key = spec.content_hash()
-            if spec_key in peeked:
-                continue
-            peeked.add(spec_key)
-            spec_units = [
-                unit for unit in plan_units(spec) if unit.key in pending_by_key
-            ]
-            if not spec_units:
-                continue
-            grid = cache.peek(spec)
-            if grid is None:
-                continue
-            for unit in spec_units:
-                try:
-                    migrated = grid[unit.workload][unit.scheme]
-                except KeyError:  # pragma: no cover - defensive
-                    continue
-                results[unit.key] = migrated
-                stats.units_migrated += 1
-                del pending_by_key[unit.key]
-                if run_cache is not None:
-                    run_cache.store(unit.key, migrated)
-        if stats.units_migrated:
-            _log.info(
-                "migrated %d run(s) from whole-sweep cache entries",
-                stats.units_migrated,
-            )
-        pending = [unit for unit in pending if unit.key in pending_by_key]
-
-    execute_elapsed = 0.0
-    if pending:
-        _log.info(
-            "executing %d of %d planned unit(s), %d job(s)",
-            len(pending), len(plan.units), jobs,
-        )
-        execute_start = time.perf_counter()
-        if jobs > 1 and len(pending) > 1:
-            simulated = run_units_parallel(pending, jobs, telemetry)
-        else:
-            simulated = _run_units_serial(pending, telemetry)
-        execute_elapsed = time.perf_counter() - execute_start
-        results.update(simulated)
-        stats.units_simulated += len(pending)
-        if run_cache is not None:
-            for unit in pending:
-                run_cache.store(unit.key, simulated[unit.key])
-
-    for unit in plan.units:
-        _RUN_MEMO[unit.key] = results[unit.key]
-    stats.schedule_wall_s += (
-        time.perf_counter() - overhead_start - execute_elapsed
+    tracer = telemetry.tracer if telemetry is not None else None
+    # Self-activate span tracing when the caller attached a live tracer
+    # but no tracker is installed (library callers, tests); the CLI's
+    # root tracker wins when present.
+    own_tracker = (
+        SpanTracker(tracer.emit)
+        if tracer is not None and tracer.enabled and current_tracker() is None
+        else None
     )
+    scope = tracker_scope(own_tracker) if own_tracker is not None else nullcontext()
+    active_tracker = own_tracker if own_tracker is not None else current_tracker()
+    trace_id = active_tracker.trace_id if active_tracker is not None else None
+    tiers: Dict[str, str] = {}
+    cached_bytes: Dict[str, int] = {}
+    provenance: Dict[str, Dict[str, Any]] = {}
+    with scope, maybe_span(
+        "plan.execute", units=len(plan.units), jobs=jobs
+    ) as plan_span:
+        overhead_start = time.perf_counter()
+        results: Dict[str, RunStats] = {}
+        pending: List[RunUnit] = []
+        with maybe_span("cache.memo", units=len(plan.units)) as span:
+            for unit in plan.units:
+                memo_hit = _RUN_MEMO.get(unit.key)
+                if memo_hit is not None:
+                    results[unit.key] = memo_hit
+                    stats.units_memo += 1
+                    tiers[unit.key] = "memo"
+                else:
+                    pending.append(unit)
+            span.set_attr("hits", len(plan.units) - len(pending))
+
+        run_cache = RunCache(cache.cache_dir) if cache is not None else None
+        if run_cache is not None and pending:
+            missing: List[RunUnit] = []
+            for unit in pending:
+                with maybe_span(
+                    "cache.disk", workload=unit.workload, scheme=unit.scheme
+                ) as span:
+                    loaded = run_cache.load(unit.key)
+                    span.set_attr("hit", loaded is not None)
+                if loaded is not None:
+                    results[unit.key] = loaded
+                    stats.units_disk += 1
+                    tiers[unit.key] = "disk"
+                    try:
+                        cached_bytes[unit.key] = (
+                            run_cache.path_for(unit.key).stat().st_size
+                        )
+                    except OSError:  # pragma: no cover - racy fs
+                        pass
+                else:
+                    missing.append(unit)
+            pending = missing
+            stats.stale += run_cache.counters.stale
+            stats.quarantined += run_cache.counters.quarantined
+
+        if cache is not None and pending:
+            # Read-through migration: a legacy whole-sweep entry for any
+            # source spec can satisfy that spec's still-missing units; each
+            # migrated run is re-stored granularly so the next planner pass
+            # hits the per-run store directly.
+            with maybe_span("cache.migrate", pending=len(pending)) as span:
+                pending_by_key = {unit.key: unit for unit in pending}
+                peeked = set()
+                for spec in plan.specs:
+                    if not pending_by_key:
+                        break
+                    spec_key = spec.content_hash()
+                    if spec_key in peeked:
+                        continue
+                    peeked.add(spec_key)
+                    spec_units = [
+                        unit
+                        for unit in plan_units(spec)
+                        if unit.key in pending_by_key
+                    ]
+                    if not spec_units:
+                        continue
+                    grid = cache.peek(spec)
+                    if grid is None:
+                        continue
+                    for unit in spec_units:
+                        try:
+                            migrated = grid[unit.workload][unit.scheme]
+                        except KeyError:  # pragma: no cover - defensive
+                            continue
+                        results[unit.key] = migrated
+                        stats.units_migrated += 1
+                        tiers[unit.key] = "migrated"
+                        del pending_by_key[unit.key]
+                        if run_cache is not None:
+                            stored = run_cache.store(unit.key, migrated)
+                            try:
+                                cached_bytes[unit.key] = stored.stat().st_size
+                            except OSError:  # pragma: no cover - racy fs
+                                pass
+                span.set_attr("migrated", stats.units_migrated)
+            if stats.units_migrated:
+                _log.info(
+                    "migrated %d run(s) from whole-sweep cache entries",
+                    stats.units_migrated,
+                )
+            pending = [unit for unit in pending if unit.key in pending_by_key]
+
+        execute_elapsed = 0.0
+        if pending:
+            _log.info(
+                "executing %d of %d planned unit(s), %d job(s)",
+                len(pending), len(plan.units), jobs,
+            )
+            execute_start = time.perf_counter()
+            if jobs > 1 and len(pending) > 1:
+                simulated = run_units_parallel(
+                    pending, jobs, telemetry, provenance=provenance
+                )
+            else:
+                simulated = _run_units_serial(
+                    pending, telemetry, provenance=provenance
+                )
+            execute_elapsed = time.perf_counter() - execute_start
+            results.update(simulated)
+            stats.units_simulated += len(pending)
+            for unit in pending:
+                tiers[unit.key] = "simulated"
+            if run_cache is not None:
+                for unit in pending:
+                    stored = run_cache.store(unit.key, simulated[unit.key])
+                    try:
+                        cached_bytes[unit.key] = stored.stat().st_size
+                    except OSError:  # pragma: no cover - racy fs
+                        pass
+
+        for unit in plan.units:
+            _RUN_MEMO[unit.key] = results[unit.key]
+        stats.schedule_wall_s += (
+            time.perf_counter() - overhead_start - execute_elapsed
+        )
+        plan_span.set_attr("simulated", stats.units_simulated)
+        plan_span.set_attr("cached", stats.units_cached)
 
     if cache is not None:
         # Historical run-level accounting on the caller's SweepCache:
@@ -381,4 +470,42 @@ def execute_plan(
         metrics.counter("plan.units_simulated").inc(stats.units_simulated)
         metrics.counter("plan.units_deduped").inc(stats.units_deduped)
         metrics.counter("plan.cache.quarantined").inc(stats.quarantined)
+        # Speculation outcomes are counted here, per simulated unit,
+        # rather than inside the engine: engine-level telemetry must
+        # stay bit-identical between the batch kernel and the event
+        # oracle, and only the batch kernel has a fastpath at all.
+        for unit in plan.units:
+            outcome = provenance.get(unit.key, {}).get("fastpath")
+            if outcome is not None:
+                metrics.counter(f"fastpath.{outcome}").inc()
+
+    if telemetry is not None and telemetry.ledger is not None:
+        # One record per planned unit, in plan order, after execution —
+        # timing/pid fields vary run to run, everything else is a pure
+        # function of the plan and the cache state it met.
+        ledger = telemetry.ledger
+        plan_no = ledger.begin_plan()
+        for unit in plan.units:
+            run_stats = results[unit.key]
+            prov = provenance.get(unit.key, {})
+            faults = (
+                run_stats.fault_counters.as_dict()
+                if run_stats.fault_counters
+                else None
+            )
+            ledger.record(
+                plan=plan_no,
+                run_hash=unit.key,
+                workload=unit.workload,
+                scheme=unit.scheme,
+                tier=tiers.get(unit.key, "simulated"),
+                engine=prov.get("engine") or unit.spec.engine,
+                fastpath=prov.get("fastpath"),
+                wall_s=prov.get("wall_s"),
+                t_s=prov.get("t_s"),
+                pid=prov.get("pid"),
+                cached_bytes=cached_bytes.get(unit.key),
+                faults=faults,
+                trace=trace_id,
+            )
     return results

@@ -52,7 +52,17 @@ from .config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
 from .policy import ReadMode, SchemePolicy
 from .stats import RunStats
 
-__all__ = ["simulate_batch", "TELEMETRY_FLUSH_WINDOW"]
+__all__ = ["simulate_batch", "last_fastpath", "TELEMETRY_FLUSH_WINDOW"]
+
+#: Fastpath outcome of this process's most recent :func:`simulate_batch`
+#: call — ``"speculated"`` / ``"fallback"`` / ``"no_native"`` — exposed
+#: for run-provenance records (:func:`repro.memsim.engine.last_run_provenance`).
+_LAST_FASTPATH: Optional[str] = None
+
+
+def last_fastpath() -> Optional[str]:
+    """Fastpath outcome of the most recent batch run in this process."""
+    return _LAST_FASTPATH
 
 # Event kinds — identical to the scalar engine so the heap entries (and
 # therefore pop order on time ties, via the shared seq counter) match.
@@ -611,17 +621,32 @@ def simulate_batch(
     faults: Optional[FaultInjector] = None,
 ) -> RunStats:
     """Run one simulation on the batch kernel; bit-identical to the oracle."""
+    global _LAST_FASTPATH
     faults = faults if (faults is not None and faults.spec.enabled) else None
     if faults is None:
         # Speculative two-pass engine (C timeline + vectorized sampling);
         # returns None when ineligible or when a sampling outcome would
         # have changed the timeline — then the exact-replay loop below
         # produces the identical result, just slower.
-        from .fastpath import try_simulate_speculative
+        from . import fastpath
 
-        result = try_simulate_speculative(trace, policy, config, epoch_s, telemetry)
+        result = fastpath.try_simulate_speculative(
+            trace, policy, config, epoch_s, telemetry
+        )
+        # Provenance only — never a metrics counter here: engine-level
+        # telemetry must stay bit-identical to the event oracle's, and
+        # the oracle never speculates. The execution layer counts
+        # ``fastpath.*`` per simulated run unit from this provenance.
+        _LAST_FASTPATH = fastpath.last_attempt()[0]
         if result is not None:
             return result
+    else:
+        # Fault injection replays every decision exactly; speculation is
+        # never attempted, and the ledger records the reason.
+        from . import fastpath
+
+        fastpath._miss("faults")
+        _LAST_FASTPATH = "fallback"
     if telemetry is not None and telemetry.enabled:
         tele: Optional[Telemetry] = telemetry
         tracer = telemetry.tracer

@@ -34,7 +34,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import replace
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..ecc.regimes import ErrorRegime, classify_error_count
 from ..faults.injector import FaultInjector
@@ -44,7 +44,7 @@ from .config import DEFAULT_EPOCH_S, DEFAULT_MEMORY_CONFIG, MemoryConfig
 from .policy import ReadDecision, ReadMode, SchemePolicy
 from .stats import RunStats
 
-__all__ = ["ENGINES", "MemorySystemSim", "simulate"]
+__all__ = ["ENGINES", "MemorySystemSim", "simulate", "last_run_provenance"]
 
 # Event kinds (heap entries are (time_ns, seq, kind, a, b)).
 _EV_CORE = 0  # a = core id
@@ -740,14 +740,38 @@ def simulate(
     is why the flag is deliberately *not* part of ``SimSpec`` identity:
     cached artifacts and sweep digests are engine-independent.
     """
+    global _LAST_ENGINE
     if engine == "batch":
         from .batch import simulate_batch
 
+        _LAST_ENGINE = "batch"
         return simulate_batch(
             trace, policy, config, epoch_s=epoch_s, telemetry=telemetry, faults=faults
         )
     if engine != "event":
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    _LAST_ENGINE = "event"
     return MemorySystemSim(
         trace, policy, config, epoch_s=epoch_s, telemetry=telemetry, faults=faults
     ).run()
+
+
+#: Engine used by this process's most recent :func:`simulate` call.
+_LAST_ENGINE: Optional[str] = None
+
+
+def last_run_provenance() -> Dict[str, Optional[str]]:
+    """Provenance of the most recent :func:`simulate` in this process.
+
+    ``{"engine": "batch" | "event" | None, "fastpath": "speculated" |
+    "fallback" | "no_native" | None}`` — ``fastpath`` is ``None`` unless
+    the batch engine ran (the event engine never speculates). Read by
+    the executor right after a unit simulation so ledger records can say
+    how each unit was actually produced.
+    """
+    fastpath: Optional[str] = None
+    if _LAST_ENGINE == "batch":
+        from .batch import last_fastpath
+
+        fastpath = last_fastpath()
+    return {"engine": _LAST_ENGINE, "fastpath": fastpath}

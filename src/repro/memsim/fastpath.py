@@ -51,6 +51,7 @@ from ..ecc.regimes import (
     classify_error_counts,
 )
 from ..obs import Telemetry
+from ..obs.spans import maybe_span
 from ..traces.trace import OP_READ, Trace
 from .config import MemoryConfig
 from .native import (
@@ -63,7 +64,33 @@ from .native import (
 from .policy import SchemePolicy
 from .stats import RunStats
 
-__all__ = ["try_simulate_speculative", "speculation_plan"]
+__all__ = ["try_simulate_speculative", "speculation_plan", "last_attempt"]
+
+#: Outcome of this process's most recent speculation attempt:
+#: ``(outcome, reason)`` with outcome in ``{"speculated", "fallback",
+#: "no_native"}``. Read by the batch engine for the ``fastpath.*``
+#: metrics counters and by the executor for run-provenance records —
+#: a silent fall-back to the exact loop is otherwise indistinguishable
+#: from a speculation hit.
+_LAST_ATTEMPT: Tuple[str, str] = ("fallback", "not_attempted")
+
+
+def last_attempt() -> Tuple[str, str]:
+    """``(outcome, reason)`` of the most recent attempt in this process."""
+    return _LAST_ATTEMPT
+
+
+def _miss(reason: str) -> None:
+    """Record a non-speculated outcome; returns ``None`` for tail calls."""
+    global _LAST_ATTEMPT
+    outcome = "no_native" if reason == "no_native" else "fallback"
+    _LAST_ATTEMPT = (outcome, reason)
+    return None
+
+
+def _hit() -> None:
+    global _LAST_ATTEMPT
+    _LAST_ATTEMPT = ("speculated", "ok")
 
 _CORR = CORRECTABLE_ERRORS
 _DET = DETECTABLE_ERRORS
@@ -359,24 +386,45 @@ def try_simulate_speculative(
 ) -> Optional[RunStats]:
     """Run the speculative two-pass engine; ``None`` means "use the
     exact-replay loop" (ineligible policy, no compiler, or speculation
-    falsified). On ``None`` all policy/RNG state is untouched."""
+    falsified). On ``None`` all policy/RNG state is untouched.
+
+    Every call records its ``(outcome, reason)`` in :func:`last_attempt`
+    and — when span tracing is active — emits a ``fastpath.speculate``
+    span carrying them, so fall-backs are attributable."""
+    with maybe_span(
+        "fastpath.speculate", scheme=policy.name, workload=trace.name
+    ) as span:
+        result = _attempt(trace, policy, config, epoch_s, telemetry)
+        outcome, reason = _LAST_ATTEMPT
+        span.set_attr("outcome", outcome)
+        span.set_attr("reason", reason)
+        return result
+
+
+def _attempt(
+    trace: Trace,
+    policy: SchemePolicy,
+    config: MemoryConfig,
+    epoch_s: float,
+    telemetry: Optional[Telemetry],
+) -> Optional[RunStats]:
     plan = speculation_plan(policy)
     if plan is None:
-        return None
+        return _miss("ineligible")
     lib = load_timeline()
     if lib is None:
-        return None
+        return _miss("no_native")
     # The policy's closures read the scrub phase / births through its own
     # ctx; the kernel has one (config, epoch) — they must be the same.
     if policy.ctx.config is not config or policy.ctx.epoch_s != epoch_s:
-        return None
+        return _miss("context_mismatch")
     # Fixed-capacity queues in the kernel (with headroom for appendleft).
     if (
         config.num_cores >= 64
         or config.write_queue_depth >= 70
         or config.scrub_backlog_cap >= 70
     ):
-        return None
+        return _miss("config_limits")
 
     if telemetry is not None and telemetry.enabled:
         tele: Optional[Telemetry] = telemetry
@@ -408,7 +456,8 @@ def try_simulate_speculative(
         gaps_parts.append(trace.gap[idx].astype(np.float64) * cycle_ns)
         offsets[core + 1] = offsets[core] + len(idx)
     if offsets[-1] == 0:
-        return None  # empty trace: let the replay loop produce the stats
+        # Empty trace: let the replay loop produce the stats.
+        return _miss("empty_trace")
     ops = np.ascontiguousarray(np.concatenate(ops_parts), dtype=np.int8)
     lines = np.ascontiguousarray(np.concatenate(lines_parts), dtype=np.int64)
     gaps = np.ascontiguousarray(np.concatenate(gaps_parts), dtype=np.float64)
@@ -491,40 +540,46 @@ def try_simulate_speculative(
     out = TimelineOut()
     rep_cap = n_write_ops + 4 * len(ops) + 4096
     rec_cap = (3 * len(ops) + 4096) if trace_on else 1
-    for _attempt in range(3):
-        rep_lines = np.zeros(rep_cap, dtype=np.int64)
-        rep_times = np.zeros(rep_cap, dtype=np.float64)
-        rep_kind = np.zeros(rep_cap, dtype=np.int8)
-        recs = np.zeros(rec_cap, dtype=TRACE_REC_DTYPE)
-        params.rep_cap = rep_cap
-        params.rec_cap = rec_cap
-        code = lib.run_timeline(
-            ctypes.byref(params),
-            ctypes.byref(out),
-            _ptr(ages, ctypes.c_double),
-            _ptr(rep_lines, ctypes.c_int64),
-            _ptr(rep_times, ctypes.c_double),
-            _ptr(rep_kind, ctypes.c_int8),
-            _ptr(lat, ctypes.c_double),
-            _ptr(depth, ctypes.c_int32),
-            recs.ctypes.data_as(ctypes.c_void_p),
-        )
-        if code == 0:
-            break
-        if code in RETRYABLE_ERRORS:
-            # The kernel is pure (touches no Python state), so a rerun
-            # with bigger buffers is safe.
-            rep_cap *= 8
-            rec_cap *= 8
-            continue
-        return None
-    else:
-        return None
+    with maybe_span("fastpath.timeline", requests=len(ops)):
+        for _retry in range(3):
+            rep_lines = np.zeros(rep_cap, dtype=np.int64)
+            rep_times = np.zeros(rep_cap, dtype=np.float64)
+            rep_kind = np.zeros(rep_cap, dtype=np.int8)
+            recs = np.zeros(rec_cap, dtype=TRACE_REC_DTYPE)
+            params.rep_cap = rep_cap
+            params.rec_cap = rec_cap
+            code = lib.run_timeline(
+                ctypes.byref(params),
+                ctypes.byref(out),
+                _ptr(ages, ctypes.c_double),
+                _ptr(rep_lines, ctypes.c_int64),
+                _ptr(rep_times, ctypes.c_double),
+                _ptr(rep_kind, ctypes.c_int8),
+                _ptr(lat, ctypes.c_double),
+                _ptr(depth, ctypes.c_int32),
+                recs.ctypes.data_as(ctypes.c_void_p),
+            )
+            if code == 0:
+                break
+            if code in RETRYABLE_ERRORS:
+                # The kernel is pure (touches no Python state), so a rerun
+                # with bigger buffers is safe.
+                rep_cap *= 8
+                rec_cap *= 8
+                continue
+            return _miss("kernel_error")
+        else:
+            return _miss("kernel_error")
 
     # ---- pass 2: drift sampling + speculation check
-    outcome = _sample_and_verify(policy, plan, ages[: out.n_ages])
-    if outcome is None:
-        return None
+    with maybe_span("fastpath.verify", reads=int(out.n_ages)) as verify_span:
+        outcome = _sample_and_verify(policy, plan, ages[: out.n_ages])
+        if outcome is None:
+            verify_span.set_attr("aborted", True)
+            with maybe_span("fastpath.abort", scheme=policy.name):
+                pass
+            return _miss("verify_abort")
+        verify_span.set_attr("aborted", False)
     n_silent, n_uncorrectable = outcome
 
     # ---- commit: replay policy line state, then fill the stats
@@ -588,4 +643,5 @@ def try_simulate_speculative(
             from .batch import _snapshot_metrics
 
             _snapshot_metrics(tele.metrics, stats, int(out.seq), tracer, None)
+    _hit()
     return stats

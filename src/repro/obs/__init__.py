@@ -1,24 +1,33 @@
 """Observability for the simulator and the experiment sweeps.
 
-Three cooperating pieces, all optional and all off by default:
+Cooperating pieces, all optional and all off by default:
 
 * :mod:`repro.obs.metrics` — a lightweight metrics registry (counters,
   gauges, fixed-bucket histograms) with a no-op null backend;
 * :mod:`repro.obs.tracing` — an in-memory event tracer exportable as
   JSONL or Chrome ``trace_event`` JSON (chrome://tracing / Perfetto);
+* :mod:`repro.obs.spans` — hierarchical cross-process span tracing for
+  the execution layer (plan build, cache tiers, run units, fastpath),
+  riding the same tracer as ``kind == "span"`` records;
+* :mod:`repro.obs.ledger` — the append-only run-provenance ledger, one
+  JSONL record per resolved run unit;
+* :mod:`repro.obs.schema` — checked-in JSON schemas for the span and
+  ledger record formats, with a dependency-free validator;
+* :mod:`repro.obs.report` — aggregation behind ``readduo report``;
+* :mod:`repro.obs.progress` — the executor's live progress/ETA line;
 * :mod:`repro.obs.logutil` — stdlib-logging helpers that keep every
   diagnostic line on stderr.
 
-:class:`Telemetry` bundles a tracer and a registry so call sites thread
-one optional argument instead of two. The engine treats ``None`` (the
-default everywhere) as "fully disabled" and pays essentially nothing on
-its hot path; see docs/OBSERVABILITY.md for the metric names, the trace
-schema, and measured overhead.
+:class:`Telemetry` bundles a tracer, a registry, and a ledger so call
+sites thread one optional argument instead of three. The engine treats
+``None`` (the default everywhere) as "fully disabled" and pays
+essentially nothing on its hot path; see docs/OBSERVABILITY.md for the
+metric names, the record schemas, and measured overhead.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .logutil import configure_logging, get_logger, verbosity_to_level
 from .metrics import (
@@ -31,7 +40,11 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from .spans import SpanContext, SpanTracker, current_tracker, maybe_span
 from .tracing import NullTracer, Tracer, chrome_trace_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import at runtime)
+    from .ledger import RunLedger
 
 __all__ = [
     "Telemetry",
@@ -44,6 +57,10 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "chrome_trace_events",
+    "SpanContext",
+    "SpanTracker",
+    "current_tracker",
+    "maybe_span",
     "READ_LATENCY_BUCKETS_NS",
     "QUEUE_DEPTH_BUCKETS",
     "get_logger",
@@ -53,25 +70,27 @@ __all__ = [
 
 
 class Telemetry:
-    """Bundle of an event tracer and a metrics registry.
+    """Bundle of an event tracer, a metrics registry, and a run ledger.
 
-    Either side may be ``None``; :attr:`enabled` is true when at least
-    one is live (null backends count as absent). Consumers that receive
+    Any side may be ``None``; :attr:`enabled` is true when at least one
+    is live (null backends count as absent). Consumers that receive
     ``telemetry=None`` skip all instrumentation work.
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "ledger")
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        ledger: Optional["RunLedger"] = None,
     ) -> None:
         self.tracer = tracer
         self.metrics = metrics
+        self.ledger = ledger
 
     @property
     def enabled(self) -> bool:
         tracing = self.tracer is not None and self.tracer.enabled
         measuring = self.metrics is not None and self.metrics.enabled
-        return tracing or measuring
+        return tracing or measuring or self.ledger is not None

@@ -1,0 +1,96 @@
+"""Live progress/ETA line for long executor runs.
+
+A single carriage-return-rewritten stderr line — ``[7/140] 5% eta 41s
+mcf/Hybrid`` — updated as run units complete, serial or parallel. It
+deliberately stays out of the logging pipeline: log records are part of
+the diagnostic stream, the progress line is throwaway terminal
+decoration, and the two must not corrupt each other's output.
+
+Suppression rules (all evaluated in :class:`ProgressLine`):
+
+* never shown unless the application opted in via
+  :func:`set_progress_allowed` — library callers (tests, embedding
+  code) get no progress by default;
+* never shown when stderr is not a TTY (CI logs, redirected output);
+* the CLI additionally withholds the opt-in under ``--output -`` so a
+  piped invocation stays clean end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["ProgressLine", "progress_allowed", "set_progress_allowed"]
+
+_ALLOWED = False
+
+
+def set_progress_allowed(allowed: bool) -> bool:
+    """Application-level opt-in for progress lines; returns the old value."""
+    global _ALLOWED
+    previous = _ALLOWED
+    _ALLOWED = bool(allowed)
+    return previous
+
+
+def progress_allowed() -> bool:
+    return _ALLOWED
+
+
+class ProgressLine:
+    """One rewritable ``[done/total] pct eta`` line on a TTY stream.
+
+    Args:
+        total: Total number of work items.
+        label: Item noun for the line (``"run units"``).
+        stream: Target stream; defaults to ``sys.stderr``.
+        enabled: Force on/off; default is "allowed and stream is a TTY".
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "units",
+        stream: Optional[IO[str]] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.total = max(int(total), 0)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = _ALLOWED and callable(isatty) and bool(isatty())
+        self.enabled = bool(enabled)
+        self._start = time.perf_counter()
+        self._last_width = 0
+
+    def update(self, done: int, detail: str = "") -> None:
+        """Rewrite the line for ``done`` completed items."""
+        if not self.enabled or self.total == 0:
+            return
+        done = min(max(done, 0), self.total)
+        elapsed = time.perf_counter() - self._start
+        if done > 0 and done < self.total:
+            eta = elapsed / done * (self.total - done)
+            eta_text = f" eta {eta:.0f}s"
+        elif done == self.total:
+            eta_text = f" in {elapsed:.1f}s"
+        else:
+            eta_text = ""
+        pct = 100.0 * done / self.total
+        line = f"[{done}/{self.total}] {pct:.0f}% {self.label}{eta_text}"
+        if detail:
+            line += f" {detail}"
+        pad = max(self._last_width - len(line), 0)
+        self._last_width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Finish the line (newline) so later output starts clean."""
+        if self.enabled and self._last_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._last_width = 0

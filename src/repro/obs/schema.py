@@ -1,0 +1,115 @@
+"""Checked-in record schemas for the observability JSONL streams.
+
+Two streams have a frozen, validated line format:
+
+* **span records** (``kind == "span"``, from :mod:`repro.obs.spans`) —
+  ``repro/obs/schemas/span.schema.json``;
+* **ledger records** (``kind == "run"``, from :mod:`repro.obs.ledger`)
+  — ``repro/obs/schemas/ledger.schema.json``.
+
+The schema files are ordinary JSON Schema documents (draft-07 subset) so
+external tooling can consume them directly; :func:`validate_record` is a
+dependency-free validator for the subset the schemas use — ``type``
+(including type lists), ``enum``, ``required``, ``properties``,
+``additionalProperties: false``, and one level of nested objects. Tests
+and the CI observability-smoke job run every emitted line through it, so
+the schema files cannot drift from the emitters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+__all__ = [
+    "SCHEMA_DIR",
+    "load_schema",
+    "validate_record",
+    "validate_jsonl",
+]
+
+#: Directory holding the checked-in ``*.schema.json`` documents.
+SCHEMA_DIR = Path(__file__).resolve().parent / "schemas"
+
+_TYPE_CHECKS: Dict[str, Tuple[type, ...]] = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "number": (int, float),
+    "integer": (int,),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+def load_schema(name: str) -> Dict[str, Any]:
+    """Load ``schemas/<name>.schema.json`` (e.g. ``load_schema("span")``)."""
+    path = SCHEMA_DIR / f"{name}.schema.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _type_ok(value: Any, type_spec: Union[str, List[str]]) -> bool:
+    names = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+    for name in names:
+        expected = _TYPE_CHECKS[name]
+        if isinstance(value, expected):
+            # JSON has no bool/int subtyping: a True must not satisfy
+            # "integer"/"number" unless "boolean" is also allowed.
+            if isinstance(value, bool) and name in ("integer", "number"):
+                continue
+            return True
+    return False
+
+
+def validate_record(
+    record: Any, schema: Mapping[str, Any], path: str = "$"
+) -> List[str]:
+    """Validation errors for one record (empty list means valid)."""
+    errors: List[str] = []
+    type_spec = schema.get("type")
+    if type_spec is not None and not _type_ok(record, type_spec):
+        errors.append(f"{path}: expected {type_spec}, got {type(record).__name__}")
+        return errors
+    enum = schema.get("enum")
+    if enum is not None and record not in enum:
+        errors.append(f"{path}: {record!r} not in {enum}")
+    if not isinstance(record, dict):
+        return errors
+    properties: Mapping[str, Any] = schema.get("properties", {})
+    for key in schema.get("required", ()):
+        if key not in record:
+            errors.append(f"{path}: missing required field {key!r}")
+    if schema.get("additionalProperties") is False:
+        for key in record:
+            if key not in properties:
+                errors.append(f"{path}: unexpected field {key!r}")
+    for key, sub_schema in properties.items():
+        if key in record:
+            errors.extend(validate_record(record[key], sub_schema, f"{path}.{key}"))
+    return errors
+
+
+def validate_jsonl(
+    lines: Iterable[str], schema: Mapping[str, Any]
+) -> List[str]:
+    """Validate JSONL content line-by-line; blank lines are ignored.
+
+    Returns every error found, each prefixed with its 1-based line
+    number, so a caller can assert ``== []`` for a readable failure.
+    """
+    errors: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        errors.extend(
+            f"line {lineno}: {err}"
+            for err in validate_record(record, schema)
+        )
+    return errors

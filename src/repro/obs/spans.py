@@ -1,0 +1,278 @@
+"""Hierarchical span tracing across the execution layer.
+
+The event tracer (:mod:`repro.obs.tracing`) records what the *simulated
+hardware* did; spans record what the *pipeline* did: plan build, cache
+lookups, run-unit execution, fastpath speculation, telemetry export —
+each as a timed interval with a parent link, so a whole ``readduo run``
+becomes one tree rooted at the CLI invocation, even when run units
+execute in worker processes.
+
+Model (deliberately OpenTelemetry-shaped, zero dependencies):
+
+* A **trace** is one top-level operation (one CLI command, one
+  ``execute_plan``); all its spans share a ``trace`` id.
+* A **span** is one timed interval with a ``span`` id, an optional
+  ``parent`` span id, a ``name``, the OS ``pid`` that ran it, wall-clock
+  start ``t_s`` (``time.time``), a monotonic duration ``dur_s``
+  (``perf_counter``), and a flat ``attrs`` dict.
+* A :class:`SpanContext` is the picklable ``(trace, span)`` carrier that
+  crosses process boundaries: the executor hands it to pool workers,
+  which emit their spans with ``parent`` pointing at the carrier and
+  ship the finished records back with the unit result.
+
+Spans are plain dict records with ``kind == "span"`` emitted into the
+ordinary :class:`~repro.obs.tracing.Tracer`, so they ride the existing
+``--trace`` export: the JSONL form is the raw records (validated by
+``repro/obs/schemas/span.schema.json``); the Chrome form renders one
+lane per OS process (see :func:`repro.obs.tracing.chrome_trace_events`).
+
+Instrumented library code never threads a tracker through call
+signatures — it asks for the process-local active tracker via
+:func:`maybe_span`, which is a no-op context manager when tracing is
+off. Activation is explicit (:func:`activate_tracker` /
+:class:`tracker_scope`), done by the CLI and by ``execute_plan``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "SpanTracker",
+    "activate_tracker",
+    "current_tracker",
+    "maybe_span",
+    "tracker_scope",
+    "span_tree_errors",
+]
+
+#: Scalar attribute values allowed on a span (JSON-serializable).
+AttrValue = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Picklable identity of a span: the cross-process carrier.
+
+    Workers receive the parent's context and emit their spans with
+    ``parent == ctx.span``, so the merged stream still forms one tree.
+    """
+
+    trace: str
+    span: str
+
+
+class Span:
+    """One open interval; close it via the ``SpanTracker.span`` context."""
+
+    __slots__ = ("name", "context", "parent", "attrs", "_t_wall", "_t_perf")
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent: Optional[str],
+        attrs: Dict[str, AttrValue],
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent = parent
+        self.attrs = attrs
+        self._t_wall = time.time()
+        self._t_perf = time.perf_counter()
+
+    def set_attr(self, key: str, value: AttrValue) -> None:
+        """Attach/overwrite one attribute (visible in the final record)."""
+        self.attrs[key] = value
+
+    def _record(self) -> Dict[str, Any]:
+        return {
+            "kind": "span",
+            "trace": self.context.trace,
+            "span": self.context.span,
+            "parent": self.parent,
+            "name": self.name,
+            "pid": os.getpid(),
+            "t_s": self._t_wall,
+            "dur_s": time.perf_counter() - self._t_perf,
+            "attrs": self.attrs,
+        }
+
+
+class SpanTracker:
+    """Process-local span recorder bound to a sink.
+
+    Args:
+        sink: Where finished span records go — any ``dict -> None``
+            callable (``Tracer.emit``, ``list.append``).
+        trace_id: Trace to join; fresh id when omitted.
+        root: Parent context for otherwise-parentless spans — this is
+            how a worker process nests its spans under the executor's
+            span in the parent process.
+
+    Span ids embed the OS pid plus a process-local counter, so ids from
+    concurrently tracing processes never collide after the merge.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[Dict[str, Any]], None],
+        trace_id: Optional[str] = None,
+        root: Optional[SpanContext] = None,
+    ) -> None:
+        self.sink = sink
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self._root = root
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------- spans
+
+    def current_context(self) -> Optional[SpanContext]:
+        """Context of the innermost open span (or the worker root)."""
+        if self._stack:
+            return self._stack[-1].context
+        return self._root
+
+    def _next_span_id(self) -> str:
+        return f"{os.getpid():x}-{next(_SPAN_COUNTER):x}"
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        **attrs: AttrValue,
+    ) -> Iterator[Span]:
+        """Open a child span of ``parent`` (default: the innermost open
+        span, else the tracker root); emits the record on exit."""
+        if parent is None:
+            parent = self.current_context()
+        context = SpanContext(trace=self.trace_id, span=self._next_span_id())
+        span = Span(name, context, parent.span if parent else None, dict(attrs))
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            self.sink(span._record())
+
+    def emit_record(self, record: Dict[str, Any]) -> None:
+        """Forward an already-built span record (merged from a worker)."""
+        self.sink(record)
+
+
+#: Process-global span-id counter. A worker creates one tracker per run
+#: unit; a per-tracker counter would restart at 1 each time and collide
+#: with the same worker's earlier units. The pid prefix keeps ids unique
+#: across processes (fork inherits the count, but not the pid).
+_SPAN_COUNTER = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+# ------------------------------------------------------------ active tracker
+
+#: The process-local active tracker. One per process is enough: the
+#: pipeline is single-threaded within a process, and workers install
+#: their own for the duration of a unit.
+_ACTIVE: Optional[SpanTracker] = None
+
+
+def activate_tracker(tracker: Optional[SpanTracker]) -> Optional[SpanTracker]:
+    """Install ``tracker`` as the process-local tracker; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracker
+    return previous
+
+
+def current_tracker() -> Optional[SpanTracker]:
+    """The active tracker, or ``None`` when span tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracker_scope(tracker: Optional[SpanTracker]) -> Iterator[Optional[SpanTracker]]:
+    """Activate ``tracker`` for the scope, restoring the previous one after."""
+    previous = activate_tracker(tracker)
+    try:
+        yield tracker
+    finally:
+        activate_tracker(previous)
+
+
+class _NullSpan:
+    """Absorbs ``set_attr`` when no tracker is active."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: AttrValue) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def maybe_span(name: str, **attrs: AttrValue) -> Iterator[Any]:
+    """Span against the active tracker, or a shared no-op when none is.
+
+    This is the hook instrumented library code uses — one global read
+    when tracing is off, so it is safe at per-run (not per-request)
+    granularity anywhere in the pipeline.
+    """
+    tracker = _ACTIVE
+    if tracker is None:
+        yield _NULL_SPAN
+        return
+    with tracker.span(name, **attrs) as span:
+        yield span
+
+
+# ----------------------------------------------------------------- analysis
+
+
+def span_tree_errors(records: List[Dict[str, Any]]) -> List[str]:
+    """Structural problems in a merged span stream (empty list = well-formed).
+
+    Checks: every ``parent`` id refers to a span present in the stream
+    (no orphans), span ids are unique, and all spans share a trace id
+    per connected tree root.
+    """
+    errors: List[str] = []
+    spans = [r for r in records if r.get("kind") == "span"]
+    seen: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        span_id = record.get("span")
+        if not isinstance(span_id, str) or not span_id:
+            errors.append(f"span without id: {record.get('name')!r}")
+            continue
+        if span_id in seen:
+            errors.append(f"duplicate span id {span_id!r}")
+        seen[span_id] = record
+    for record in spans:
+        parent = record.get("parent")
+        if parent is None:
+            continue
+        if parent not in seen:
+            errors.append(
+                f"orphan span {record.get('span')!r} ({record.get('name')!r}): "
+                f"parent {parent!r} not in stream"
+            )
+        elif seen[parent].get("trace") != record.get("trace"):
+            errors.append(
+                f"span {record.get('span')!r} crosses traces: "
+                f"{record.get('trace')!r} under {seen[parent].get('trace')!r}"
+            )
+    return errors

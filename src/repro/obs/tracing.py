@@ -46,6 +46,10 @@ _PID_BANKS = 2
 _PID_SCRUB = 3
 _PID_SWEEP = 4
 
+#: Span lanes are keyed by the *real* OS pid of the emitting process,
+#: offset so they can never collide with the fixed simulated tracks.
+_PID_SPAN_BASE = 1_000
+
 
 class Tracer:
     """Bounded in-memory event recorder.
@@ -176,7 +180,11 @@ def _x(name, cat, pid, tid, ts_ns, dur_ns, args) -> Dict:
 def chrome_trace_events(records: List[Dict]) -> List[Dict]:
     """Map raw records onto Chrome ``trace_event`` dicts.
 
-    Unknown kinds become instant events on the sweep track so nothing is
+    Pipeline spans (``kind == "span"``, see :mod:`repro.obs.spans`) are
+    rendered as duration events on one lane per emitting OS process —
+    the cross-process timeline of a parallel run. Their wall-clock
+    timestamps are rebased so the earliest span starts at t=0. Unknown
+    kinds become instant events on the sweep track so nothing is
     silently lost.
     """
     events: List[Dict] = [
@@ -189,9 +197,32 @@ def chrome_trace_events(records: List[Dict]) -> List[Dict]:
         {"name": "process_name", "ph": "M", "pid": _PID_SWEEP,
          "args": {"name": "sweep runner"}},
     ]
+    span_pids = sorted(
+        {r["pid"] for r in records if r.get("kind") == "span" and "pid" in r}
+    )
+    span_t0 = min(
+        (r["t_s"] for r in records if r.get("kind") == "span" and "t_s" in r),
+        default=0.0,
+    )
+    for pid in span_pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": _PID_SPAN_BASE + pid,
+            "args": {"name": f"pipeline spans (pid {pid})"},
+        })
     for r in records:
         kind = r.get("kind")
-        if kind == "read":
+        if kind == "span":
+            args = {"trace": r.get("trace"), "span": r.get("span"),
+                    "parent": r.get("parent")}
+            args.update(r.get("attrs") or {})
+            events.append(_x(
+                r.get("name", "span"), "span",
+                _PID_SPAN_BASE + r.get("pid", 0), 0,
+                (r.get("t_s", span_t0) - span_t0) * 1e9,
+                r.get("dur_s", 0.0) * 1e9,
+                args,
+            ))
+        elif kind == "read":
             events.append(_x(
                 f"read[{r['mode']}]", "read", _PID_CORES, r["core"],
                 r["issue_ns"], r["complete_ns"] - r["issue_ns"],

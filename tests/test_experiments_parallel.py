@@ -112,3 +112,70 @@ class TestRunSweepJobs:
         first = run_sweep(SMALL, jobs=2)
         second = run_sweep(SMALL, jobs=2)
         assert first is second
+
+
+class TestWorkerPropagation:
+    """Pool-initializer state: log level and span carrier reach workers."""
+
+    @pytest.fixture(autouse=True)
+    def reset_worker_globals(self):
+        import repro.experiments.parallel as parallel_mod
+
+        carrier = parallel_mod._WORKER_CARRIER
+        capture = parallel_mod._WORKER_CAPTURE
+        yield
+        parallel_mod._WORKER_CARRIER = carrier
+        parallel_mod._WORKER_CAPTURE = capture
+
+    def test_configured_log_level_mirrors_cli_handler(self):
+        import logging
+
+        from repro.experiments.parallel import _configured_log_level
+        from repro.obs import configure_logging
+
+        logger = logging.getLogger("repro")
+        previous = [h for h in logger.handlers if h.get_name() == "repro-cli"]
+        try:
+            configure_logging(level="DEBUG")
+            assert _configured_log_level() == "DEBUG"
+        finally:
+            for handler in list(logger.handlers):
+                if handler.get_name() == "repro-cli":
+                    logger.removeHandler(handler)
+            for handler in previous:
+                logger.addHandler(handler)
+
+    def test_worker_init_installs_carrier_and_capture(self):
+        import repro.experiments.parallel as parallel_mod
+        from repro.obs.spans import SpanContext
+
+        carrier = SpanContext(trace="t1", span="exec-1")
+        parallel_mod._worker_init(None, carrier, True)
+        assert parallel_mod._WORKER_CARRIER == carrier
+        assert parallel_mod._WORKER_CAPTURE is True
+
+    def test_timed_unit_capture_returns_worker_provenance(self):
+        import os
+
+        import repro.experiments.parallel as parallel_mod
+        from repro.experiments.parallel import _timed_unit
+        from repro.obs.spans import SpanContext
+
+        parallel_mod._worker_init(None, SpanContext("t1", "exec-1"), True)
+        elapsed, stats, extras = _timed_unit(SMALL, "gcc", "Ideal")
+        assert elapsed > 0.0 and stats.scheme == "Ideal"
+        assert extras is not None
+        assert extras["pid"] == os.getpid()
+        assert extras["engine"] == "batch"
+        unit_span = next(
+            s for s in extras["spans"] if s["name"] == "unit.simulate"
+        )
+        assert unit_span["parent"] == "exec-1"
+        assert unit_span["trace"] == "t1"
+
+    def test_timed_unit_without_capture_skips_extras(self):
+        import repro.experiments.parallel as parallel_mod
+
+        parallel_mod._worker_init(None, None, False)
+        _, stats, extras = parallel_mod._timed_unit(SMALL, "gcc", "Ideal")
+        assert stats.scheme == "Ideal" and extras is None

@@ -183,3 +183,72 @@ class TestLogging:
         assert get_logger().name == "repro"
         with pytest.raises(ValueError):
             configure_logging(level="nope")
+
+
+class TestProgressLine:
+    def _tty(self):
+        import io
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        return Tty()
+
+    def test_disabled_without_app_opt_in_even_on_tty(self):
+        from repro.obs.progress import ProgressLine, set_progress_allowed
+
+        previous = set_progress_allowed(False)
+        try:
+            line = ProgressLine(10, stream=self._tty())
+            assert not line.enabled
+        finally:
+            set_progress_allowed(previous)
+
+    def test_opt_in_plus_tty_enables(self):
+        from repro.obs.progress import ProgressLine, set_progress_allowed
+
+        previous = set_progress_allowed(True)
+        try:
+            import io
+
+            assert ProgressLine(10, stream=self._tty()).enabled
+            # Non-TTY stderr (CI logs, redirects) still suppresses.
+            assert not ProgressLine(10, stream=io.StringIO()).enabled
+        finally:
+            set_progress_allowed(previous)
+
+    def test_line_format_and_finish(self):
+        from repro.obs.progress import ProgressLine
+
+        stream = self._tty()
+        line = ProgressLine(4, label="run units", stream=stream, enabled=True)
+        line.update(1, detail="gcc/Ideal")
+        text = stream.getvalue()
+        assert "\r[1/4] 25% run units" in text
+        assert "eta" in text and "gcc/Ideal" in text
+        line.update(4)
+        assert " in " in stream.getvalue()
+        line.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_disabled_line_writes_nothing(self):
+        import io
+
+        from repro.obs.progress import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(4, stream=stream, enabled=False)
+        line.update(2)
+        line.close()
+        assert stream.getvalue() == ""
+
+    def test_set_progress_allowed_returns_previous(self):
+        from repro.obs.progress import progress_allowed, set_progress_allowed
+
+        original = progress_allowed()
+        try:
+            assert set_progress_allowed(True) == original
+            assert set_progress_allowed(False) is True
+        finally:
+            set_progress_allowed(original)

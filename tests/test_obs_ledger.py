@@ -1,0 +1,223 @@
+"""Tests for the run-provenance ledger (repro.obs.ledger).
+
+Covers the ISSUE-mandated behaviours: one record per planned run unit
+with resolution tier and provenance, schema-valid JSONL, determinism
+modulo timing, and the observes-never-perturbs contract (identical
+RunStats and unchanged sweep content with a ledger attached).
+"""
+
+import json
+
+import pytest
+
+from repro.core.registry import make_policy
+from repro.core.schemes import PolicyContext
+from repro.experiments.cache import SweepCache
+from repro.experiments.planner import build_plan, execute_plan
+from repro.experiments.runner import clear_sweep_cache
+from repro.experiments.spec import SimSpec
+from repro.memsim.config import MemoryConfig
+from repro.memsim.engine import simulate
+from repro.obs import MetricsRegistry, Telemetry, Tracer
+from repro.obs.ledger import LEDGER_RECORD_KIND, RunLedger
+from repro.obs.schema import load_schema, validate_jsonl
+from repro.traces.generator import generate_trace
+from repro.traces.spec import instructions_for_requests, workload
+
+SMALL = SimSpec(
+    schemes=("Ideal", "Hybrid"),
+    workloads=("gcc", "mcf"),
+    target_requests=1_000,
+)
+
+#: Record fields that legitimately vary between byte-identical runs.
+TIMING_FIELDS = ("t_s", "wall_s", "pid")
+
+
+@pytest.fixture(autouse=True)
+def clean_memo():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def _ledger_records(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def _run_with_ledger(path, jobs=1, cache=None):
+    tele = Telemetry(ledger=RunLedger(path))
+    plan = build_plan([SMALL])
+    results = execute_plan(plan, jobs=jobs, cache=cache, telemetry=tele)
+    tele.ledger.close()
+    return _ledger_records(path), results
+
+
+class TestRunLedger:
+    def test_open_is_lazy_and_records_accumulate(self, tmp_path):
+        path = tmp_path / "sub" / "ledger.jsonl"
+        ledger = RunLedger(path)
+        assert not path.exists()  # constructing never touches the fs
+        plan = ledger.begin_plan()
+        ledger.record(plan=plan, run_hash="h1", workload="mcf",
+                      scheme="Hybrid", tier="simulated", engine="batch")
+        ledger.close()
+        # A second ledger instance appends to the same file.
+        with RunLedger(path) as again:
+            again.record(plan=again.begin_plan(), run_hash="h2",
+                         workload="gcc", scheme="Ideal", tier="memo",
+                         engine="batch")
+        records = _ledger_records(path)
+        assert [r["run_hash"] for r in records] == ["h1", "h2"]
+        assert all(r["kind"] == LEDGER_RECORD_KIND for r in records)
+        assert ledger.records_written == 1
+
+    def test_begin_plan_indexes_from_one(self, tmp_path):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        assert ledger.begin_plan() == 1
+        assert ledger.begin_plan() == 2
+
+
+class TestExecutePlanLedger:
+    def test_cold_run_records_simulated_with_provenance(self, tmp_path):
+        records, _ = _run_with_ledger(tmp_path / "cold.jsonl", jobs=1)
+        plan = build_plan([SMALL])
+        assert len(records) == len(plan.units)
+        assert [r["run_hash"] for r in records] == [u.key for u in plan.units]
+        for record in records:
+            assert record["tier"] == "simulated"
+            assert record["engine"] == "batch"
+            assert record["fastpath"] in ("speculated", "fallback", "no_native")
+            assert record["wall_s"] > 0.0
+            assert record["pid"] > 0
+
+    def test_warm_run_records_memo_tier(self, tmp_path):
+        _run_with_ledger(tmp_path / "cold.jsonl", jobs=1)
+        records, _ = _run_with_ledger(tmp_path / "warm.jsonl", jobs=1)
+        assert records and all(r["tier"] == "memo" for r in records)
+        assert all(r["wall_s"] is None for r in records)
+
+    def test_disk_tier_records_cached_bytes(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        records, _ = _run_with_ledger(
+            tmp_path / "cold.jsonl", jobs=1, cache=SweepCache(cache_root)
+        )
+        # The cold run stored granular entries; their sizes are recorded.
+        assert all(r["cached_bytes"] > 0 for r in records)
+        clear_sweep_cache()
+        warm, _ = _run_with_ledger(
+            tmp_path / "warm.jsonl", jobs=1, cache=SweepCache(cache_root)
+        )
+        assert all(r["tier"] == "disk" for r in warm)
+        assert all(r["cached_bytes"] > 0 for r in warm)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_schema_valid_jsonl(self, tmp_path, jobs):
+        path = tmp_path / "ledger.jsonl"
+        _run_with_ledger(path, jobs=jobs)
+        schema = load_schema("ledger")
+        assert validate_jsonl(path.read_text().splitlines(), schema) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_deterministic_modulo_timing(self, tmp_path, jobs):
+        first, _ = _run_with_ledger(tmp_path / "a.jsonl", jobs=jobs)
+        clear_sweep_cache()
+        second, _ = _run_with_ledger(tmp_path / "b.jsonl", jobs=jobs)
+
+        def strip(records):
+            return [
+                {k: v for k, v in r.items() if k not in TIMING_FIELDS}
+                for r in records
+            ]
+
+        assert strip(first) == strip(second)
+
+
+class TestObservesNeverPerturbs:
+    def test_instrumented_results_equal_uninstrumented(self, tmp_path):
+        plan = build_plan([SMALL])
+        plain = execute_plan(plan, jobs=1)
+        clear_sweep_cache()
+        tele = Telemetry(
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            ledger=RunLedger(tmp_path / "l.jsonl"),
+        )
+        instrumented = execute_plan(build_plan([SMALL]), jobs=1, telemetry=tele)
+        tele.ledger.close()
+        assert plain.keys() == instrumented.keys()
+        for key in plain:
+            assert plain[key].to_dict() == instrumented[key].to_dict()
+
+    def test_ledger_state_never_enters_content_hash(self, tmp_path):
+        # Attaching a ledger must not move any run hash: the plan keys
+        # (content identity of cached artifacts) are telemetry-blind.
+        plan = build_plan([SMALL])
+        tele = Telemetry(ledger=RunLedger(tmp_path / "l.jsonl"))
+        execute_plan(plan, jobs=1, telemetry=tele)
+        tele.ledger.close()
+        assert [u.key for u in plan.units] == [
+            u.key for u in build_plan([SMALL]).units
+        ]
+
+
+class TestFastpathCounters:
+    """fastpath.* counters are execution-layer, one per simulated unit.
+
+    They deliberately do NOT live in the engine: engine-level telemetry
+    must stay bit-identical between the batch kernel and the event
+    oracle (tests/test_batch_equivalence.py), and only the batch kernel
+    speculates.
+    """
+
+    def _run(self, scheme, jobs=1):
+        metrics = MetricsRegistry()
+        spec = SimSpec(
+            schemes=(scheme,), workloads=("mcf",), target_requests=1_000
+        )
+        execute_plan(
+            build_plan([spec]), jobs=jobs, telemetry=Telemetry(metrics=metrics)
+        )
+        return metrics.to_dict()["counters"]
+
+    def test_speculated_counter_increments(self):
+        counters = self._run("Hybrid")  # known-eligible scenario
+        assert counters["fastpath.speculated"] == 1
+        assert "fastpath.fallback" not in counters
+
+    def test_fallback_counter_increments(self):
+        counters = self._run("LWT-4")  # scheme without a native kernel path
+        assert counters["fastpath.fallback"] == 1
+        assert "fastpath.speculated" not in counters
+
+    def test_counters_flow_back_from_worker_processes(self):
+        counters = self._run("Hybrid", jobs=2)
+        assert counters["fastpath.speculated"] == 1
+
+    def test_engine_metrics_stay_fastpath_free(self):
+        # Direct engine runs never emit fastpath counters, whatever the
+        # engine — that is the equivalence contract.
+        config = MemoryConfig()
+        profile = workload("mcf")
+        instructions = instructions_for_requests(profile, 1_000, config.num_cores)
+        trace = generate_trace(
+            profile,
+            instructions_per_core=instructions,
+            num_cores=config.num_cores,
+            seed=42,
+        )
+        for engine in ("batch", "event"):
+            metrics = MetricsRegistry()
+            policy = make_policy(
+                "Hybrid", PolicyContext(profile=profile, config=config, seed=42)
+            )
+            simulate(
+                trace, policy, config,
+                telemetry=Telemetry(metrics=metrics), engine=engine,
+            )
+            counters = metrics.to_dict()["counters"]
+            assert not any(k.startswith("fastpath.") for k in counters)
