@@ -26,6 +26,19 @@ Subcommands:
   rates, slowest units, and per-worker utilization; ``report --bench``
   compares the latest two benchmark history entries and can gate on
   regressions (``--fail-on-regression``).
+* ``schemes`` — the scheme-registry catalog: canonical names, accepted
+  aliases, and parameterized-family syntaxes (``--json`` for the
+  machine-readable form the serve daemon also exposes).
+* ``serve`` — the simulation daemon: an asyncio HTTP/JSON server
+  accepting :class:`~repro.experiments.spec.SimSpec` documents,
+  coalescing concurrent identical requests by run hash, streaming
+  per-unit progress, and applying per-client backpressure (see
+  docs/SERVING.md).
+
+The execution-shaped subcommands (``run``/``sweep``/``faults``) are thin
+clients of :class:`repro.service.ExecutionService` — the same facade the
+daemon serves — so local and served execution share one code path and
+produce bit-for-bit identical results.
 
 ``simulate`` and ``sweep`` accept ``--engine {batch,event}``: ``batch``
 (default) is the vectorized batch kernel, ``event`` the event-level
@@ -192,53 +205,22 @@ def _write_telemetry_files(args: argparse.Namespace, tele: Optional[Telemetry]) 
         )
 
 
-def _prewarm_plan(
-    names: Sequence[str], args: argparse.Namespace, tele: Optional[Telemetry]
-) -> None:
-    """Plan → dedupe → execute the requested artifacts' shared run units.
+def _make_service(args: argparse.Namespace, tele: Optional[Telemetry]):
+    """The :class:`~repro.service.ExecutionService` one subcommand uses.
 
-    Every sweep-backed experiment registers a spec collector in
-    ``EXPERIMENT_SPECS``; unioning those specs up front lets the planner
-    dedupe by run hash and execute each distinct (workload, scheme) run
-    exactly once — e.g. Figures 9–15 plus the scrub-interval extras cost
-    one simulation per distinct run. The drivers then render from the
-    prewarmed in-process memo and per-run cache.
+    Every execution-shaped subcommand (``run``/``sweep``/``faults``)
+    funnels through the service facade — the CLI holds no planner, pool,
+    or cache wiring of its own, so the HTTP daemon and the CLI share one
+    code path (and bit-for-bit identical results).
     """
-    from .experiments import EXPERIMENT_SPECS
-    from .experiments.cache import SweepCache
-    from .experiments.planner import build_plan, execute_plan
+    from .service import ExecutionService
 
-    specs = []
-    for name in names:
-        collector = EXPERIMENT_SPECS.get(name)
-        if collector is None:
-            continue
-        kwargs = {}
-        if args.quick and name in SWEEP_EXPERIMENTS:
-            kwargs["target_requests"] = args.quick_requests
-        specs.extend(collector(**kwargs))
-    if not specs:
-        return
-    plan = build_plan(specs)
-    _log.info(
-        "planned %d distinct run unit(s) from %d spec(s) (%d duplicate(s) folded)",
-        len(plan.units), len(specs), plan.stats.units_deduped,
-    )
-    execute_plan(
-        plan,
-        jobs=args.jobs,
-        cache=None if args.no_cache else SweepCache(),
-        telemetry=tele,
-    )
-    _log.info(
-        "plan executed: %d simulated, %d cached",
-        plan.stats.units_simulated, plan.stats.units_cached,
+    return ExecutionService(
+        jobs=args.jobs, cache=not args.no_cache, telemetry=tele
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments.runner import configure_sweep_defaults
-
     names: List[str] = args.experiments
     if "all" in names:
         names = list(EXPERIMENTS)
@@ -248,29 +230,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     tele = _build_telemetry(args)
-    # Figure drivers call run_sweep internally; route --jobs/--no-cache/
-    # telemetry through the process-wide defaults (restored afterwards so
-    # main() stays reentrant for tests and embedding).
-    prev_jobs, prev_cache, prev_tele = configure_sweep_defaults(
-        jobs=args.jobs, cache=not args.no_cache, telemetry=tele
-    )
-    with _cli_tracker(args, tele, "run"):
-        try:
-            _prewarm_plan(names, args, tele)
-            for name in names:
-                driver = EXPERIMENTS[name]
-                kwargs = {}
-                if args.quick and name in SWEEP_EXPERIMENTS:
-                    kwargs["target_requests"] = args.quick_requests
-                started = time.perf_counter()
-                result = driver(**kwargs)
-                print(result.render())
-                print()
-                _log.info("%s done in %.2fs", name, time.perf_counter() - started)
-        finally:
-            configure_sweep_defaults(
-                jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
-            )
+    service = _make_service(args, tele)
+    quick_requests = args.quick_requests if args.quick else None
+    # service.session() routes the figure drivers' internal run_sweep
+    # calls through this service's jobs/cache/telemetry (the previous
+    # process-wide defaults are restored on exit, keeping main()
+    # reentrant for tests and embedding).
+    with _cli_tracker(args, tele, "run"), service, service.session():
+        service.prewarm(names, quick_requests=quick_requests)
+        for name in names:
+            kwargs = {}
+            if args.quick and name in SWEEP_EXPERIMENTS:
+                kwargs["target_requests"] = args.quick_requests
+            started = time.perf_counter()
+            result = service.run_experiment(name, **kwargs)
+            print(result.render())
+            print()
+            _log.info("%s done in %.2fs", name, time.perf_counter() - started)
     return 0
 
 
@@ -326,9 +302,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments.cache import SweepCache
-    from .experiments.runner import run_sweep
     from .experiments.spec import ALL_SCHEMES, SimSpec, SpecError
+    from .service import sweep_payload
 
     if args.spec is not None:
         # A spec file is the whole experiment definition; mixing it with
@@ -376,37 +351,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         settings = dataclasses.replace(settings, engine=args.engine)
     tele = _build_telemetry(args)
-    # An explicit SweepCache instance so its hit/miss counters are ours
-    # to report (run_sweep would otherwise build an anonymous one).
-    cache = False if args.no_cache else SweepCache()
+    service = _make_service(args, tele)
     started = time.perf_counter()
-    with _cli_tracker(args, tele, "sweep"):
-        sweep = run_sweep(settings, jobs=args.jobs, cache=cache, telemetry=tele)
+    with _cli_tracker(args, tele, "sweep"), service:
+        sweep = service.sweep(settings)
         wall_s = time.perf_counter() - started
-        payload = {
-            "target_requests": settings.target_requests,
-            "seed": settings.seed,
-            "runs": {
-                workload_name: {
-                    scheme: {
-                        **stats.summary(),
-                        "execution_time_ns": stats.execution_time_ns,
-                        "dynamic_energy_pj": stats.dynamic_energy_pj,
-                        "total_cell_writes": stats.total_cell_writes,
-                        "energy_by_category_pj": stats.energy.by_category,
-                        "wear_by_cause_cells": stats.wear.by_cause,
-                    }
-                    for scheme, stats in per_scheme.items()
-                }
-                for workload_name, per_scheme in sweep.items()
-            },
-        }
+        payload = sweep_payload(settings, sweep)
         if tele is not None:
             # Only telemetry-enabled invocations get the extra key: the
             # default payload must stay byte-identical across cold and warm
             # runs (CI compares them) and with older exports.
             counters = (
-                cache.counters.as_dict() if isinstance(cache, SweepCache) else None
+                service.cache.counters.as_dict()
+                if service.cache is not None
+                else None
             )
             payload["telemetry"] = {
                 "wall_time_s": wall_s,
@@ -439,8 +397,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .experiments.faults import fault_density_study
-    from .experiments.runner import configure_sweep_defaults
     from .experiments.spec import SpecError
 
     scheme = canonical_scheme_name(args.scheme)
@@ -452,13 +408,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print("densities must be in [0, 1]", file=sys.stderr)
         return 2
     tele = _build_telemetry(args)
-    prev_jobs, prev_cache, prev_tele = configure_sweep_defaults(
-        jobs=args.jobs, cache=not args.no_cache, telemetry=tele
-    )
+    service = _make_service(args, tele)
     started = time.perf_counter()
-    with _cli_tracker(args, tele, "faults"):
+    with _cli_tracker(args, tele, "faults"), service:
         try:
-            result = fault_density_study(
+            result = service.fault_density_study(
                 densities=tuple(densities),
                 workload_name=args.workload,
                 scheme=scheme,
@@ -471,10 +425,6 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         except SpecError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        finally:
-            configure_sweep_defaults(
-                jobs=prev_jobs, cache=prev_cache, telemetry=prev_tele
-            )
         _log.info(
             "fault-density study done in %.2fs", time.perf_counter() - started
         )
@@ -579,10 +529,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments.bench import run_bench_suite
+    from .experiments.bench import run_bench_suite, run_serve_bench
 
     def say(msg: str) -> None:
         print(msg, file=sys.stderr)
+
+    if args.serve:
+        payload = run_serve_bench(
+            results_dir=args.results_dir,
+            requests_total=args.serve_requests,
+            sim_requests=min(args.requests, 4_000),
+            log=say,
+        )
+        serve = payload["serve"]
+        say(
+            f"wrote {args.results_dir}/BENCH_serve.json: "
+            f"{serve['completed']} requests, "
+            f"p50 {serve['latency_p50_ms']:.1f}ms / "
+            f"p99 {serve['latency_p99_ms']:.1f}ms, "
+            f"coalescing ratio {serve['coalescing_ratio']:.3f}"
+        )
+        return 0
 
     payload = run_bench_suite(
         results_dir=args.results_dir,
@@ -597,6 +564,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{kernel.get('speedup', 0.0):.1f}x batch-kernel speedup"
     )
     return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    """List scheme names, aliases, and parameter-family syntaxes."""
+    from .core.registry import scheme_catalog
+
+    catalog = scheme_catalog()
+    if args.json:
+        print(json.dumps(catalog, indent=2, sort_keys=True))
+        return 0
+    width = max(len(entry["name"]) for entry in catalog["schemes"])
+    print("Schemes (canonical name, accepted aliases):")
+    for entry in catalog["schemes"]:
+        aliases = ", ".join(entry["aliases"])
+        print(f"  {entry['name']:<{width}}  {aliases}")
+    if catalog["families"]:
+        print("\nParameterized families (full syntax beyond the listed "
+              "variants):")
+        for family in catalog["families"]:
+            listed = ", ".join(family["listed"])
+            print(f"  {family['syntax']}  (listed: {listed})")
+    print(f"\nAliases are case-insensitive; the {catalog['alias_prefix']!r} "
+          "prefix is optional.")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation daemon (see docs/SERVING.md)."""
+    from .service.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        memo_capacity=args.memo_capacity,
+        max_inflight_per_client=args.max_inflight,
+        max_pending=args.max_pending,
+        ledger=args.ledger,
+    )
+    print(
+        f"readduo serve on http://{config.host}:{config.port} "
+        f"(jobs={config.jobs}, cache={'on' if not args.no_cache else 'off'}); "
+        "Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    return run_server(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -694,6 +708,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", default="results", metavar="DIR",
         help="directory holding BENCH_sweep.json (default: results)",
     )
+    p_bench.add_argument(
+        "--serve", action="store_true",
+        help="run the serve-daemon load test instead of the engine "
+             "scenarios; writes results/BENCH_serve.json (p50/p99 "
+             "latency, coalescing ratio)",
+    )
+    p_bench.add_argument(
+        "--serve-requests", type=_positive_int, default=2_000, metavar="N",
+        help="concurrent HTTP submits for --serve (default: 2000)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser(
@@ -744,6 +768,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 3 when --bench flags a regression beyond the threshold",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_schemes = sub.add_parser(
+        "schemes",
+        help="list scheme names, aliases, and parameter-family syntaxes",
+    )
+    p_schemes.add_argument(
+        "--json", action="store_true",
+        help="emit the catalog as JSON (the same document the serve "
+             "daemon returns from GET /v1/schemes)",
+    )
+    p_schemes.set_defaults(func=_cmd_schemes)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation daemon: HTTP/JSON SimSpec submission "
+             "with request coalescing (see docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1; the daemon "
+                              "has no auth — keep it on loopback or behind "
+                              "a proxy)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port (default: 8787; 0 picks a free port)")
+    p_serve.add_argument(
+        "--memo-capacity", type=_positive_int, default=None, metavar="N",
+        help="LRU bound on the in-process run memo (default: planner "
+             "default, 4096 runs)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=_positive_int, default=8, metavar="N",
+        help="concurrent submits one client may have admitted before "
+             "429 (default: 8)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="concurrent submits admitted across all clients before "
+             "429 (default: 64; 0 refuses all submits)",
+    )
+    p_serve.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append run-provenance records for every executed unit "
+             "(JSONL; summarize with `readduo report --ledger FILE`)",
+    )
+    _add_sweep_execution_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -37,6 +37,7 @@ __all__ = [
     "unregister_scheme",
     "resolve_scheme",
     "scheme_names",
+    "scheme_catalog",
     "family_syntaxes",
     "is_scheme_name",
     "canonical_scheme_name",
@@ -235,6 +236,44 @@ def canonical_scheme_name(name: str) -> str:
         if match is not None:
             return family.canonical(family.parse(match))
     return name
+
+
+def scheme_catalog() -> Dict[str, Any]:
+    """Machine-readable registry listing: names, aliases, family syntaxes.
+
+    The same data :func:`unknown_scheme_message` renders as an error is
+    exposed here as discovery metadata, so clients (``readduo schemes``,
+    the serve daemon's ``GET /v1/schemes``) can enumerate valid
+    :class:`~repro.experiments.spec.SimSpec` scheme spellings without
+    trial-and-error. Per advertised name: the canonical spelling, the
+    lowercase/prefixed aliases :func:`canonical_scheme_name` resolves,
+    and the family it belongs to (``None`` for fixed-name schemes).
+    Families additionally carry their full parameter syntax
+    (``LWT-<k>[-noconv]``), which accepts spellings beyond the listed
+    paper variants.
+    """
+    schemes = []
+    families = []
+    for family in _FAMILIES.values():
+        if family.syntax is not None:
+            families.append(
+                {"syntax": family.syntax, "listed": list(family.listed)}
+            )
+        for name in family.listed:
+            schemes.append(
+                {
+                    "name": name,
+                    "aliases": sorted(
+                        {name.lower(), ALIAS_PREFIX + name.lower()} - {name}
+                    ),
+                    "family": family.syntax,
+                }
+            )
+    return {
+        "alias_prefix": ALIAS_PREFIX,
+        "schemes": schemes,
+        "families": families,
+    }
 
 
 def unknown_scheme_message(unknown) -> str:

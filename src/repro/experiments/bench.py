@@ -29,10 +29,12 @@ __all__ = [
     "bench_single_run",
     "bench_telemetry_overhead",
     "bench_batch_kernel",
+    "bench_serve",
     "merge_into_bench_json",
     "append_bench_history",
     "load_bench_history",
     "run_bench_suite",
+    "run_serve_bench",
 ]
 
 #: Append-only per-invocation history beside BENCH_sweep.json; the input
@@ -202,6 +204,154 @@ def bench_batch_kernel(requests: int) -> Dict:
         "batch_window": TELEMETRY_FLUSH_WINDOW,
         "equivalence_check": "bit-for-bit",
     }
+
+
+def _percentile_ms(sorted_latencies_s: list, q: float) -> float:
+    """The q-th percentile of pre-sorted per-request latencies, in ms."""
+    if not sorted_latencies_s:
+        return 0.0
+    index = min(len(sorted_latencies_s) - 1, int(q / 100.0 * len(sorted_latencies_s)))
+    return sorted_latencies_s[index] * 1000.0
+
+
+def bench_serve(
+    requests_total: int = 2_000,
+    distinct_units: int = 10,
+    concurrency: int = 256,
+    sim_requests: int = 400,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Load-test the serve daemon in-process: latency and coalescing.
+
+    Stands up a :class:`~repro.service.server.SimServer` on a free
+    loopback port (persistent cache off, so every distinct unit really
+    simulates once), then fires ``requests_total`` HTTP submits spread
+    round-robin over ``distinct_units`` single-unit specs (one workload,
+    one scheme, distinct seeds). All requests race concurrently (bounded
+    by ``concurrency`` open connections); the duplication factor of
+    ``requests_total / distinct_units`` is the coalescing opportunity.
+
+    Records per-request wall latency (p50/p99), end-to-end throughput,
+    and the server's own coalescing accounting — the headline claim is
+    ``units_simulated == distinct_units``: thousands of requests,
+    exactly one *simulation* per distinct unit (concurrent duplicates
+    coalesce onto the in-flight execution; later duplicates hit the
+    in-process memo).
+    """
+    import asyncio
+
+    from ..service.client import ServeClient, ServeError
+    from ..service.server import ServeConfig, SimServer
+
+    def say(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    documents = [
+        {
+            "schemes": ["Ideal"],
+            "workloads": ["gcc"],
+            "target_requests": sim_requests,
+            "seed": 1000 + index,
+        }
+        for index in range(distinct_units)
+    ]
+
+    async def drive() -> Dict:
+        server = SimServer(ServeConfig(
+            port=0,
+            cache=False,
+            max_pending=requests_total + 1,
+            max_inflight_per_client=requests_total + 1,
+        ))
+        await server.start()
+        try:
+            client = ServeClient(port=server.port, client_id="bench-serve")
+            gate = asyncio.Semaphore(concurrency)
+            latencies: list = []
+            rejected = 0
+            errors = 0
+
+            async def one(index: int) -> None:
+                nonlocal rejected, errors
+                async with gate:
+                    start = time.perf_counter()
+                    try:
+                        await client.submit(documents[index % distinct_units])
+                    except ServeError as exc:
+                        if exc.status == 429:
+                            rejected += 1
+                        else:
+                            errors += 1
+                        return
+                    latencies.append(time.perf_counter() - start)
+
+            started = time.perf_counter()
+            await asyncio.gather(*(one(i) for i in range(requests_total)))
+            elapsed = time.perf_counter() - started
+            stats = server.stats()
+            latencies.sort()
+            return {
+                "requests_total": requests_total,
+                "distinct_units": distinct_units,
+                "concurrency": concurrency,
+                "sim_requests": sim_requests,
+                "completed": len(latencies),
+                "rejected": rejected,
+                "errors": errors,
+                "seconds": elapsed,
+                "requests_per_s": len(latencies) / elapsed if elapsed else 0.0,
+                "latency_p50_ms": _percentile_ms(latencies, 50),
+                "latency_p99_ms": _percentile_ms(latencies, 99),
+                "coalescing_ratio": stats["coalescing_ratio"],
+                "units_requested": stats["counters"]["units_requested"],
+                "units_owned": stats["counters"]["units_owned"],
+                "units_coalesced": stats["counters"]["units_coalesced"],
+                "units_simulated": stats["counters"].get("tier_simulated", 0),
+                "units_memo": stats["counters"].get("tier_memo", 0),
+            }
+        finally:
+            await server.stop()
+
+    say(
+        f"serve: {requests_total} concurrent submits over "
+        f"{distinct_units} distinct unit(s) ..."
+    )
+    result = asyncio.run(drive())
+    say(
+        f"  p50 {result['latency_p50_ms']:.1f}ms, "
+        f"p99 {result['latency_p99_ms']:.1f}ms, "
+        f"coalescing ratio {result['coalescing_ratio']:.3f} "
+        f"({result['units_simulated']} of {result['units_requested']} "
+        f"requested units simulated)"
+    )
+    return result
+
+
+def run_serve_bench(
+    results_dir: Path,
+    requests_total: int = 2_000,
+    distinct_units: int = 10,
+    concurrency: int = 256,
+    sim_requests: int = 400,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the serve load test and write ``results/BENCH_serve.json``."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(exist_ok=True)
+    payload = {
+        "meta": bench_meta(sim_requests, 1),
+        "serve": bench_serve(
+            requests_total=requests_total,
+            distinct_units=distinct_units,
+            concurrency=concurrency,
+            sim_requests=sim_requests,
+            log=log,
+        ),
+    }
+    path = results_dir / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
 
 
 def merge_into_bench_json(results_dir: Path, fragment: Dict) -> Path:

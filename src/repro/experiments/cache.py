@@ -17,6 +17,7 @@ emits shortest-roundtrip float reprs).
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 from dataclasses import dataclass
@@ -32,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 
 __all__ = [
     "CacheCounters",
+    "RunStore",
     "RunCache",
     "SweepCache",
     "default_cache_dir",
@@ -249,7 +251,52 @@ class SweepCache:
         return removed
 
 
-class RunCache:
+class RunStore(abc.ABC):
+    """Pluggable granular run-result store: ``run_hash -> RunStats``.
+
+    The execution planner (and the :class:`~repro.service.ExecutionService`
+    built on it) resolves every run unit through a store of this shape
+    before simulating anything. :class:`RunCache` is the filesystem
+    backend; :class:`~repro.service.store.MemoryRunStore` keeps entries
+    in-process, and a remote/S3-style backend only needs to implement
+    this interface to plug into the same cache hierarchy (the seam
+    ROADMAP's distributed-sweep item needs).
+
+    Contract: ``load`` returns the bit-exact :class:`RunStats` previously
+    passed to ``store`` under the same key, or ``None`` — never raises on
+    unusable entries (backends quarantine or drop them and count the
+    event in ``counters``). Keys are :meth:`SimSpec.run_hash` content
+    hashes, so a store never needs invalidation — superseded entries are
+    simply never asked for again.
+
+    Attributes:
+        counters: Per-instance :class:`CacheCounters`, counted in runs.
+    """
+
+    counters: CacheCounters
+
+    @abc.abstractmethod
+    def load(self, key: str) -> Optional[RunStats]:
+        """Return the stored statistics for one run hash, or ``None``."""
+
+    @abc.abstractmethod
+    def store(self, key: str, stats: RunStats) -> object:
+        """Persist one run's statistics; returns a backend-specific handle."""
+
+    def entry_bytes(self, key: str) -> Optional[int]:
+        """Serialized size of one entry, or ``None`` when unknown/absent.
+
+        Purely observability (the run ledger's ``cached_bytes`` field);
+        backends without a cheap answer keep the default.
+        """
+        return None
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        return 0
+
+
+class RunCache(RunStore):
     """Granular per-run persistent store: one file per (workload, scheme) run.
 
     Lives *beside* the whole-sweep entries, under ``<root>/runs/``, with
@@ -278,6 +325,13 @@ class RunCache:
     def path_for(self, key: str) -> Path:
         """The file one run's statistics live in."""
         return self.cache_dir / f"{key}.json"
+
+    def entry_bytes(self, key: str) -> Optional[int]:
+        """On-disk size of one entry's file, or ``None`` when absent."""
+        try:
+            return self.path_for(key).stat().st_size
+        except OSError:
+            return None
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move an unusable entry aside as ``<name>.bad`` and count it.

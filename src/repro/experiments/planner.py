@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -40,11 +41,12 @@ from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
 from ..obs.progress import ProgressLine
 from ..obs.spans import SpanTracker, current_tracker, maybe_span, tracker_scope
-from .cache import RunCache, SweepCache
+from .cache import RunCache, RunStore, SweepCache
 from .parallel import run_units_parallel, simulate_unit
 from .spec import SimSpec
 
 __all__ = [
+    "DEFAULT_RUN_MEMO_CAPACITY",
     "RunUnit",
     "PlanStats",
     "ExecutionPlan",
@@ -52,20 +54,79 @@ __all__ = [
     "build_plan",
     "execute_plan",
     "clear_run_memo",
+    "run_memo_capacity",
+    "run_memo_size",
+    "set_run_memo_capacity",
 ]
 
 _log = get_logger("experiments.planner")
 
-#: In-process memo of completed runs, keyed by run hash. Shared across
-#: sweeps (unlike the runner's per-settings grid memo), so overlapping
-#: specs within one process never re-simulate shared pairs. Cleared by
+#: Default bound on the in-process run memo. Generous enough that every
+#: artifact of a full `readduo run all` (a few hundred distinct units)
+#: stays memoized, small enough that a long-lived daemon serving an
+#: unbounded stream of distinct specs cannot grow without limit.
+DEFAULT_RUN_MEMO_CAPACITY = 4096
+
+#: In-process memo of completed runs, keyed by run hash, in LRU order
+#: (oldest first). Shared across sweeps (unlike the runner's per-settings
+#: grid memo), so overlapping specs within one process never re-simulate
+#: shared pairs. Bounded by :data:`_RUN_MEMO_CAPACITY` — eviction only
+#: costs a possible granular-disk re-read, never correctness. Cleared by
 #: :func:`clear_run_memo` / :func:`repro.experiments.runner.clear_sweep_cache`.
-_RUN_MEMO: Dict[str, RunStats] = {}
+_RUN_MEMO: "OrderedDict[str, RunStats]" = OrderedDict()
+
+_RUN_MEMO_CAPACITY = DEFAULT_RUN_MEMO_CAPACITY
 
 
 def clear_run_memo() -> None:
     """Drop the in-process per-run memo (tests use this for isolation)."""
     _RUN_MEMO.clear()
+
+
+def run_memo_size() -> int:
+    """Number of runs currently memoized in-process."""
+    return len(_RUN_MEMO)
+
+
+def run_memo_capacity() -> int:
+    """The memo's current LRU bound (entries)."""
+    return _RUN_MEMO_CAPACITY
+
+
+def set_run_memo_capacity(capacity: int) -> int:
+    """Re-bound the in-process run memo; returns the previous capacity.
+
+    The memo is a cache, not a source of truth — shrinking it below the
+    current population evicts least-recently-used entries immediately,
+    and a later plan that needs an evicted run simply falls through to
+    the granular disk store (or re-simulates). Long-lived services size
+    this to their memory budget (:class:`~repro.service.ExecutionService`
+    exposes it as ``memo_capacity``).
+    """
+    global _RUN_MEMO_CAPACITY
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    previous = _RUN_MEMO_CAPACITY
+    _RUN_MEMO_CAPACITY = int(capacity)
+    while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
+        _RUN_MEMO.popitem(last=False)
+    return previous
+
+
+def _memo_get(key: str) -> Optional[RunStats]:
+    """LRU-aware memo lookup: a hit refreshes the entry's recency."""
+    stats = _RUN_MEMO.get(key)
+    if stats is not None:
+        _RUN_MEMO.move_to_end(key)
+    return stats
+
+
+def _memo_put(key: str, stats: RunStats) -> None:
+    """Insert/refresh one memo entry, evicting LRU entries past the cap."""
+    _RUN_MEMO[key] = stats
+    _RUN_MEMO.move_to_end(key)
+    while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
+        _RUN_MEMO.popitem(last=False)
 
 
 @dataclass(frozen=True)
@@ -287,8 +348,9 @@ def execute_plan(
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
     telemetry: Optional[Telemetry] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[str, RunStats]:
-    """Resolve every unit of a plan: memo → disk → migration → simulate.
+    """Resolve every unit of a plan: memo → store → migration → simulate.
 
     Args:
         plan: The plan from :func:`build_plan`. Its ``stats`` are filled
@@ -306,6 +368,12 @@ def execute_plan(
             live, and — when it carries a
             :class:`~repro.obs.ledger.RunLedger` — one provenance record
             per planned unit, in plan order.
+        store: Optional explicit :class:`~repro.experiments.cache.RunStore`
+            serving the granular tier. Defaults to the
+            :class:`~repro.experiments.cache.RunCache` beside ``cache``
+            (when one is given); passing a store directly is how the
+            service layer plugs in non-filesystem backends. Migrated
+            runs are re-stored into whichever store is active.
 
     Returns:
         ``{unit.key: RunStats}`` covering every unit in the plan.
@@ -336,7 +404,7 @@ def execute_plan(
         pending: List[RunUnit] = []
         with maybe_span("cache.memo", units=len(plan.units)) as span:
             for unit in plan.units:
-                memo_hit = _RUN_MEMO.get(unit.key)
+                memo_hit = _memo_get(unit.key)
                 if memo_hit is not None:
                     results[unit.key] = memo_hit
                     stats.units_memo += 1
@@ -345,8 +413,12 @@ def execute_plan(
                     pending.append(unit)
             span.set_attr("hits", len(plan.units) - len(pending))
 
-        run_cache = RunCache(cache.cache_dir) if cache is not None else None
+        run_cache: Optional[RunStore] = store
+        if run_cache is None and cache is not None:
+            run_cache = RunCache(cache.cache_dir)
         if run_cache is not None and pending:
+            stale_before = run_cache.counters.stale
+            quarantined_before = run_cache.counters.quarantined
             missing: List[RunUnit] = []
             for unit in pending:
                 with maybe_span(
@@ -358,17 +430,16 @@ def execute_plan(
                     results[unit.key] = loaded
                     stats.units_disk += 1
                     tiers[unit.key] = "disk"
-                    try:
-                        cached_bytes[unit.key] = (
-                            run_cache.path_for(unit.key).stat().st_size
-                        )
-                    except OSError:  # pragma: no cover - racy fs
-                        pass
+                    size = run_cache.entry_bytes(unit.key)
+                    if size is not None:
+                        cached_bytes[unit.key] = size
                 else:
                     missing.append(unit)
             pending = missing
-            stats.stale += run_cache.counters.stale
-            stats.quarantined += run_cache.counters.quarantined
+            stats.stale += run_cache.counters.stale - stale_before
+            stats.quarantined += (
+                run_cache.counters.quarantined - quarantined_before
+            )
 
         if cache is not None and pending:
             # Read-through migration: a legacy whole-sweep entry for any
@@ -405,11 +476,10 @@ def execute_plan(
                         tiers[unit.key] = "migrated"
                         del pending_by_key[unit.key]
                         if run_cache is not None:
-                            stored = run_cache.store(unit.key, migrated)
-                            try:
-                                cached_bytes[unit.key] = stored.stat().st_size
-                            except OSError:  # pragma: no cover - racy fs
-                                pass
+                            run_cache.store(unit.key, migrated)
+                            size = run_cache.entry_bytes(unit.key)
+                            if size is not None:
+                                cached_bytes[unit.key] = size
                 span.set_attr("migrated", stats.units_migrated)
             if stats.units_migrated:
                 _log.info(
@@ -440,14 +510,13 @@ def execute_plan(
                 tiers[unit.key] = "simulated"
             if run_cache is not None:
                 for unit in pending:
-                    stored = run_cache.store(unit.key, simulated[unit.key])
-                    try:
-                        cached_bytes[unit.key] = stored.stat().st_size
-                    except OSError:  # pragma: no cover - racy fs
-                        pass
+                    run_cache.store(unit.key, simulated[unit.key])
+                    size = run_cache.entry_bytes(unit.key)
+                    if size is not None:
+                        cached_bytes[unit.key] = size
 
         for unit in plan.units:
-            _RUN_MEMO[unit.key] = results[unit.key]
+            _memo_put(unit.key, results[unit.key])
         stats.schedule_wall_s += (
             time.perf_counter() - overhead_start - execute_elapsed
         )

@@ -1,0 +1,39 @@
+"""Execution service layer: the simulator as a long-lived facility.
+
+Everything below ``repro.service`` already existed as single-shot CLI
+plumbing — the planner, the cache hierarchy, the work-stealing executor,
+telemetry. This package owns that wiring once, behind two surfaces:
+
+* :class:`ExecutionService` (:mod:`repro.service.execution`) — the
+  in-process facade: ``submit(specs) -> results`` through the full
+  memo → store → migration → simulate hierarchy, plus the session
+  plumbing the CLI subcommands ride (``readduo run/sweep/faults`` are
+  thin clients of this class);
+* :mod:`repro.service.server` — ``readduo serve``, the asyncio
+  HTTP/JSON daemon that accepts :class:`~repro.experiments.spec.SimSpec`
+  documents, coalesces concurrent identical requests by run hash onto a
+  single in-flight unit, streams per-unit progress from the run-ledger
+  machinery, and applies per-client backpressure;
+* :mod:`repro.service.store` — pluggable
+  :class:`~repro.experiments.cache.RunStore` backends (filesystem and
+  in-memory today; the interface is the seam a remote/S3-style backend
+  plugs into);
+* :mod:`repro.service.client` — a dependency-free HTTP/JSON client for
+  the daemon (used by the load-test benchmark, the smoke tests, and any
+  script that wants to talk to a running server).
+
+See docs/SERVING.md for the HTTP API, coalescing semantics, and the
+operations runbook.
+"""
+
+from .execution import ExecutionOutcome, ExecutionService, sweep_payload
+from .store import FilesystemRunStore, MemoryRunStore, RunStore
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExecutionService",
+    "sweep_payload",
+    "RunStore",
+    "FilesystemRunStore",
+    "MemoryRunStore",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -368,3 +370,50 @@ class TestSweepSpecFile:
     def test_missing_spec_file_reports_and_exits_2(self, tmp_path, capsys):
         assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
         assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestSchemesCommand:
+    def test_schemes_lists_names_aliases_and_families(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid" in out
+        assert "readduo-hybrid" in out
+        assert "LWT-<k>[-noconv]" in out
+        assert "case-insensitive" in out
+
+    def test_schemes_json_matches_registry_catalog(self, capsys):
+        from repro.core.registry import scheme_catalog
+
+        assert main(["schemes", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(
+            json.dumps(scheme_catalog())  # canonicalized via JSON round-trip
+        )
+
+
+class TestServeParser:
+    def test_serve_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.jobs == 1
+        assert args.max_inflight == 8
+        assert args.max_pending == 64
+        assert args.memo_capacity is None
+        assert args.ledger is None
+
+    def test_serve_flags_parse_explicit(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--jobs", "2", "--no-cache",
+            "--memo-capacity", "128", "--max-inflight", "3",
+            "--max-pending", "0", "--ledger", "runs.jsonl",
+        ])
+        assert args.port == 0
+        assert args.no_cache is True
+        assert args.memo_capacity == 128
+        assert args.max_pending == 0
+
+    def test_bench_serve_flags_parse(self):
+        args = build_parser().parse_args(["bench", "--serve"])
+        assert args.serve is True
+        assert args.serve_requests == 2000

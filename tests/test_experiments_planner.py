@@ -10,9 +10,14 @@ import pytest
 
 from repro.experiments.cache import RUN_CACHE_SUBDIR, RunCache, SweepCache
 from repro.experiments.planner import (
+    DEFAULT_RUN_MEMO_CAPACITY,
+    PlanStats,
     build_plan,
     execute_plan,
     plan_units,
+    run_memo_capacity,
+    run_memo_size,
+    set_run_memo_capacity,
 )
 from repro.experiments.runner import clear_sweep_cache, run_sweep
 from repro.experiments.spec import SimSpec
@@ -194,6 +199,107 @@ class TestWorkStealingDeterminism:
         clear_sweep_cache()
         parallel = run_sweep(SMALL, jobs=jobs)
         assert _flat(serial) == _flat(parallel)
+
+
+SINGLE = SimSpec(schemes=("Ideal",), workloads=("gcc",), target_requests=1_000)
+
+
+class TestPlanEdgeCases:
+    def test_empty_plan_executes_to_empty_results(self):
+        plan = build_plan([])
+        assert plan.units == ()
+        assert execute_plan(plan, jobs=1) == {}
+        assert plan.stats.as_dict()["units_total"] == 0
+        assert plan.stats.units_cached == 0
+
+    def test_single_unit_plan_stats(self):
+        plan = build_plan([SINGLE])
+        results = execute_plan(plan, jobs=1)
+        stats = plan.stats.as_dict()
+        assert stats["units_total"] == 1
+        assert stats["units_simulated"] == 1
+        assert stats["units_deduped"] == 0
+        grid = plan.grid_for(SINGLE, results)
+        assert list(grid) == ["gcc"]
+        assert list(grid["gcc"]) == ["Ideal"]
+
+    def test_all_cached_plan_reports_zero_simulated(self):
+        execute_plan(build_plan([SMALL]), jobs=1)
+        warm = build_plan([SMALL])
+        execute_plan(warm, jobs=1)
+        stats = warm.stats.as_dict()
+        assert stats["units_simulated"] == 0
+        assert stats["units_cached"] == stats["units_total"] == len(warm.units)
+        assert stats["units_memo"] == len(warm.units)
+
+    def test_grid_for_subset_spec_of_larger_plan(self):
+        plan = build_plan([SMALL, OVERLAPPING])
+        results = execute_plan(plan, jobs=1)
+        grid = plan.grid_for(OVERLAPPING, results)
+        assert [(w, s) for w in grid for s in grid[w]] == [
+            ("gcc", "Ideal"), ("gcc", "Hybrid"), ("gcc", "LWT-4"),
+        ]
+
+    def test_as_dict_keys_are_stable(self):
+        # readduo report and the CI smokes key off these names.
+        assert set(PlanStats().as_dict()) == {
+            "units_total", "units_cached", "units_simulated",
+            "units_deduped", "units_memo", "units_disk", "units_migrated",
+            "stale", "quarantined", "schedule_wall_s",
+        }
+
+
+class TestRunMemoLRU:
+    @pytest.fixture(autouse=True)
+    def restore_capacity(self):
+        previous = run_memo_capacity()
+        yield
+        set_run_memo_capacity(previous)
+
+    def test_default_capacity(self):
+        assert run_memo_capacity() == DEFAULT_RUN_MEMO_CAPACITY
+
+    def test_capacity_bounds_the_memo(self):
+        set_run_memo_capacity(2)
+        execute_plan(build_plan([SMALL]), jobs=1)  # 4 units through a cap of 2
+        assert run_memo_size() == 2
+
+    def test_shrinking_evicts_immediately(self):
+        execute_plan(build_plan([SMALL]), jobs=1)
+        assert run_memo_size() == 4
+        set_run_memo_capacity(1)
+        assert run_memo_size() == 1
+
+    def test_eviction_falls_back_to_disk_not_resimulation(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        execute_plan(build_plan([SMALL]), jobs=1, cache=cache)
+        set_run_memo_capacity(1)  # evicts 3 of the 4 memoized runs
+        warm = build_plan([SMALL])
+        execute_plan(warm, jobs=1, cache=SweepCache(tmp_path))
+        assert warm.stats.units_simulated == 0
+        assert warm.stats.units_disk == 3
+        assert warm.stats.units_memo == 1
+
+    def test_hit_refreshes_recency(self):
+        set_run_memo_capacity(4)
+        execute_plan(build_plan([SMALL]), jobs=1)
+        # Touch the oldest entry (gcc/Ideal), then push one new unit in:
+        # the refreshed entry must survive and the true LRU go.
+        execute_plan(build_plan([SINGLE]), jobs=1)
+        lwt = SimSpec(
+            schemes=("LWT-4",), workloads=("gcc",), target_requests=1_000
+        )
+        execute_plan(build_plan([lwt]), jobs=1)
+        probe = build_plan([SINGLE])
+        execute_plan(probe, jobs=1)
+        assert probe.stats.units_memo == 1
+
+    def test_set_capacity_returns_previous_and_rejects_nonpositive(self):
+        previous = run_memo_capacity()
+        assert set_run_memo_capacity(7) == previous
+        assert run_memo_capacity() == 7
+        with pytest.raises(ValueError):
+            set_run_memo_capacity(0)
 
 
 class TestSweepCacheHitCounter:
