@@ -30,11 +30,13 @@ __all__ = [
     "bench_telemetry_overhead",
     "bench_batch_kernel",
     "bench_serve",
+    "bench_distributed",
     "merge_into_bench_json",
     "append_bench_history",
     "load_bench_history",
     "run_bench_suite",
     "run_serve_bench",
+    "run_dist_bench",
 ]
 
 #: Append-only per-invocation history beside BENCH_sweep.json; the input
@@ -219,6 +221,7 @@ def bench_serve(
     distinct_units: int = 10,
     concurrency: int = 256,
     sim_requests: int = 400,
+    executor_workers: int = 4,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict:
     """Load-test the serve daemon in-process: latency and coalescing.
@@ -237,15 +240,26 @@ def bench_serve(
     exactly one *simulation* per distinct unit (concurrent duplicates
     coalesce onto the in-flight execution; later duplicates hit the
     in-process memo).
+
+    ``executor_workers`` sizes the daemon's submit executor pool; the
+    tail latency (p99) is dominated by head-of-line blocking when the
+    pool is 1 — memo-warm submits queue behind multi-hundred-ms
+    simulations — so the recorded pool size is part of the number's
+    context.
     """
     import asyncio
 
     from ..service.client import ServeClient, ServeError
     from ..service.server import ServeConfig, SimServer
+    from .planner import clear_run_memo
 
     def say(msg: str) -> None:
         if log is not None:
             log(msg)
+
+    # The server shares this process's run memo; repeated bench rounds
+    # (e.g. pool-size comparisons) must each start cold.
+    clear_run_memo()
 
     documents = [
         {
@@ -263,6 +277,7 @@ def bench_serve(
             cache=False,
             max_pending=requests_total + 1,
             max_inflight_per_client=requests_total + 1,
+            executor_workers=executor_workers,
         ))
         await server.start()
         try:
@@ -289,6 +304,33 @@ def bench_serve(
             started = time.perf_counter()
             await asyncio.gather(*(one(i) for i in range(requests_total)))
             elapsed = time.perf_counter() - started
+
+            # Head-of-line probe: start one long *cold* simulation, then
+            # serially submit known-warm duplicates while it runs. With a
+            # single executor thread each warm submit queues behind the
+            # simulation (p99 ~ the sim's full duration); with a pool it
+            # resolves from the memo in milliseconds. This isolates the
+            # tail-latency failure mode the executor pool exists to fix,
+            # independent of how many cores the host has.
+            # Fixed size, deliberately much larger than the storm units:
+            # the vectorized engine clears ~1M requests/s, so a small
+            # "long" sim would finish inside the warm-up sleep.
+            long_doc = {
+                "schemes": ["Hybrid"],
+                "workloads": ["mcf"],
+                "target_requests": 400_000,
+                "seed": 7777,
+            }
+            long_task = asyncio.ensure_future(client.submit(long_doc))
+            await asyncio.sleep(0.1)  # let the long sim occupy a thread
+            probe: list = []
+            for _ in range(20):
+                probe_start = time.perf_counter()
+                await client.submit(documents[0])
+                probe.append(time.perf_counter() - probe_start)
+            await long_task
+            probe.sort()
+
             stats = server.stats()
             latencies.sort()
             return {
@@ -296,6 +338,7 @@ def bench_serve(
                 "distinct_units": distinct_units,
                 "concurrency": concurrency,
                 "sim_requests": sim_requests,
+                "executor_workers": executor_workers,
                 "completed": len(latencies),
                 "rejected": rejected,
                 "errors": errors,
@@ -303,6 +346,8 @@ def bench_serve(
                 "requests_per_s": len(latencies) / elapsed if elapsed else 0.0,
                 "latency_p50_ms": _percentile_ms(latencies, 50),
                 "latency_p99_ms": _percentile_ms(latencies, 99),
+                "hol_probe_p50_ms": _percentile_ms(probe, 50),
+                "hol_probe_p99_ms": _percentile_ms(probe, 99),
                 "coalescing_ratio": stats["coalescing_ratio"],
                 "units_requested": stats["counters"]["units_requested"],
                 "units_owned": stats["counters"]["units_owned"],
@@ -321,6 +366,8 @@ def bench_serve(
     say(
         f"  p50 {result['latency_p50_ms']:.1f}ms, "
         f"p99 {result['latency_p99_ms']:.1f}ms, "
+        f"warm-behind-cold p99 {result['hol_probe_p99_ms']:.1f}ms "
+        f"(pool={executor_workers}), "
         f"coalescing ratio {result['coalescing_ratio']:.3f} "
         f"({result['units_simulated']} of {result['units_requested']} "
         f"requested units simulated)"
@@ -334,22 +381,216 @@ def run_serve_bench(
     distinct_units: int = 10,
     concurrency: int = 256,
     sim_requests: int = 400,
+    executor_workers: int = 4,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict:
-    """Run the serve load test and write ``results/BENCH_serve.json``."""
+    """Run the serve load test and write ``results/BENCH_serve.json``.
+
+    Before overwriting, the previous file's headline numbers (p50/p99
+    and its executor pool size) are carried into ``meta["previous"]`` so
+    a single results file still shows the change a pool-size bump made.
+    """
     results_dir = Path(results_dir)
     results_dir.mkdir(exist_ok=True)
+    path = results_dir / "BENCH_serve.json"
+    previous = None
+    if path.exists():
+        try:
+            old = json.loads(path.read_text()).get("serve", {})
+            previous = {
+                "latency_p50_ms": old.get("latency_p50_ms"),
+                "latency_p99_ms": old.get("latency_p99_ms"),
+                # Pre-pool builds ran a single owner-execution thread.
+                "executor_workers": old.get("executor_workers", 1),
+            }
+        except ValueError:
+            previous = None
+    meta = bench_meta(sim_requests, 1)
+    if previous is not None:
+        meta["previous"] = previous
     payload = {
-        "meta": bench_meta(sim_requests, 1),
+        "meta": meta,
         "serve": bench_serve(
             requests_total=requests_total,
             distinct_units=distinct_units,
             concurrency=concurrency,
             sim_requests=sim_requests,
+            executor_workers=executor_workers,
             log=log,
         ),
     }
-    path = results_dir / "BENCH_serve.json"
+    if executor_workers > 1:
+        # A same-run single-thread baseline makes the pool's effect
+        # auditable from this one file: compare serve.hol_probe_p99_ms
+        # against serve_pool1.hol_probe_p99_ms.
+        payload["serve_pool1"] = bench_serve(
+            requests_total=requests_total,
+            distinct_units=distinct_units,
+            concurrency=concurrency,
+            sim_requests=sim_requests,
+            executor_workers=1,
+            log=log,
+        )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def bench_distributed(
+    worker_counts: Tuple[int, ...] = (1, 2),
+    sim_requests: int = 3_000,
+    lease_units: int = 2,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Drain one cold sweep through real ``readduo worker`` processes.
+
+    For each worker count N: stand up an in-process coordinator
+    (``SimServer`` with ``distributed=True``) over a fresh cache
+    directory, spawn N worker subprocesses with private local caches,
+    submit an 8-unit sweep (4 schemes x 2 workloads), and time the
+    drain. A warm resubmit afterwards must lease zero units (the
+    coordinator's store already has everything).
+
+    Records per-round wall time, unit throughput, and the coordinator's
+    counters, plus ``scaling`` (round N throughput over round 1) and
+    ``digests_match`` — every round must produce the byte-identical
+    response payload, workers or not. On a single-CPU host the scaling
+    number is honest, not aspirational: ``meta.cpu_count`` in the
+    results file is part of the claim.
+    """
+    import asyncio
+    import hashlib
+    import subprocess
+    import sys
+    import tempfile
+
+    from ..service.client import ServeClient
+    from ..service.server import ServeConfig, SimServer
+
+    def say(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    spec = {
+        "schemes": ["Ideal", "Scrubbing", "M-metric", "Hybrid"],
+        "workloads": ["gcc", "mcf"],
+        "target_requests": sim_requests,
+        "seed": 42,
+    }
+    distinct_units = len(spec["schemes"]) * len(spec["workloads"])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+
+    async def one_round(workers: int, tmp: Path) -> Dict:
+        # Rounds must be cold: the coordinator lives in this process, so
+        # its in-process run memo would otherwise satisfy round N>1
+        # without leasing anything.
+        from .planner import clear_run_memo
+
+        clear_run_memo()
+        server = SimServer(ServeConfig(
+            port=0,
+            cache=str(tmp / "server-cache"),
+            distributed=True,
+            lease_ttl_s=15.0,
+            lease_units=lease_units,
+            executor_workers=2,
+        ))
+        await server.start()
+        procs = []
+        try:
+            for index in range(workers):
+                cache_dir = tmp / f"worker-{index}-cache"
+                procs.append(subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "worker",
+                        "--coordinator", f"http://127.0.0.1:{server.port}",
+                        "--worker-id", f"bench-w{index}",
+                        "--cache-dir", str(cache_dir),
+                        "--max-units", str(lease_units),
+                        "--poll-interval", "0.05",
+                    ],
+                    cwd=str(tmp), env=env,
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                ))
+            client = ServeClient(port=server.port, client_id="bench-dist")
+            started = time.perf_counter()
+            payload = await client.submit(spec)
+            elapsed = time.perf_counter() - started
+            cold = server.stats()["coordinator"]["counters"]
+            warm_started = time.perf_counter()
+            warm_payload = await client.submit(spec)
+            warm_elapsed = time.perf_counter() - warm_started
+            warm = server.stats()["coordinator"]["counters"]
+            # Digest only the simulation results: the response's plan
+            # accounting (tier counts, leased units) legitimately varies
+            # with topology; the runs must not.
+            blob = json.dumps(
+                payload["runs"], sort_keys=True, separators=(",", ":")
+            )
+            return {
+                "workers": workers,
+                "units": distinct_units,
+                "seconds": elapsed,
+                "units_per_s": distinct_units / elapsed if elapsed else 0.0,
+                "units_leased": cold["units_leased"],
+                "units_requeued": cold["units_requeued"],
+                "units_fallback": cold["units_fallback"],
+                "warm_seconds": warm_elapsed,
+                "warm_units_leased": warm["units_leased"] - cold["units_leased"],
+                "payload_digest": hashlib.sha256(blob.encode()).hexdigest(),
+                "warm_matches_cold": warm_payload["runs"] == payload["runs"],
+            }
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            await server.stop()
+
+    rounds = []
+    for workers in worker_counts:
+        say(
+            f"distributed: {distinct_units} cold units at "
+            f"{sim_requests} requests, {workers} worker(s) ..."
+        )
+        with tempfile.TemporaryDirectory(prefix="readduo-dist-") as tmpdir:
+            round_result = asyncio.run(one_round(workers, Path(tmpdir)))
+        rounds.append(round_result)
+        say(
+            f"  {round_result['seconds']:.2f}s "
+            f"({round_result['units_per_s']:.2f} units/s), "
+            f"{round_result['units_leased']} leased, "
+            f"warm rerun leased {round_result['warm_units_leased']}"
+        )
+    digests = {r["payload_digest"] for r in rounds}
+    base = rounds[0]["units_per_s"] or 1.0
+    return {
+        "spec": spec,
+        "lease_units": lease_units,
+        "rounds": rounds,
+        "digests_match": len(digests) == 1,
+        "scaling": {
+            str(r["workers"]): r["units_per_s"] / base for r in rounds
+        },
+    }
+
+
+def run_dist_bench(
+    results_dir: Path,
+    sim_requests: int = 3_000,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the distributed bench and write ``results/BENCH_dist.json``."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(exist_ok=True)
+    payload = {
+        "meta": bench_meta(sim_requests, 1),
+        "distributed": bench_distributed(sim_requests=sim_requests, log=log),
+    }
+    path = results_dir / "BENCH_dist.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 

@@ -18,8 +18,11 @@ emits shortest-roundtrip float reprs).
 from __future__ import annotations
 
 import abc
+import gzip
 import json
 import os
+import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
@@ -56,6 +59,25 @@ _RUN_FORMAT = 1
 #: Subdirectory (under the sweep-cache root) holding per-run entries.
 RUN_CACHE_SUBDIR = "runs"
 
+#: Environment override for the gzip threshold (bytes); ``0`` disables
+#: compression entirely, which some tests use to pin the plain format.
+RUN_GZIP_MIN_ENV = "READDUO_RUN_CACHE_GZIP_MIN"
+
+#: Granular entries whose serialized payload reaches this many bytes are
+#: stored gzip-compressed. RunStats payloads for full-length workloads run
+#: tens of KB of highly repetitive JSON (~5x compression); tiny smoke-test
+#: entries stay plain so the common debugging case remains `cat`-able.
+_DEFAULT_GZIP_MIN_BYTES = 4096
+
+#: Fixed compression level. Together with ``mtime=0`` this makes the
+#: compressed bytes a pure function of the payload, so two workers storing
+#: the same run produce byte-identical files (the distributed store's
+#: last-write-wins safety argument needs exactly this).
+_GZIP_LEVEL = 6
+
+#: gzip stream magic; entries are sniffed on read so both formats coexist.
+_GZIP_MAGIC = b"\x1f\x8b"
+
 
 def default_cache_dir() -> Path:
     """The cache root: ``$READDUO_SWEEP_CACHE`` or ``results/.sweep-cache``."""
@@ -63,6 +85,20 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override)
     return Path("results") / ".sweep-cache"
+
+
+def _gzip_min_bytes() -> int:
+    """The configured compression threshold (``0`` = never compress)."""
+    raw = os.environ.get(RUN_GZIP_MIN_ENV)
+    if raw is None:
+        return _DEFAULT_GZIP_MIN_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        _log.warning(
+            "ignoring non-integer %s=%r", RUN_GZIP_MIN_ENV, raw
+        )
+        return _DEFAULT_GZIP_MIN_BYTES
 
 
 def _remove_cache_files(directory: Path) -> int:
@@ -291,6 +327,15 @@ class RunStore(abc.ABC):
         """
         return None
 
+    def entry_raw_bytes(self, key: str) -> Optional[int]:
+        """Uncompressed payload size of one entry, or ``None``.
+
+        Equal to :meth:`entry_bytes` for backends that store entries
+        plain (the default); compressing backends override this so the
+        ledger can report ``cached_bytes`` before and after compression.
+        """
+        return self.entry_bytes(key)
+
     def clear(self) -> int:
         """Drop every entry; returns how many were removed."""
         return 0
@@ -308,6 +353,12 @@ class RunCache(RunStore):
     same entry, so incremental re-exploration only pays for genuinely new
     runs.
 
+    Entries whose serialized payload reaches ``gzip_min_bytes``
+    (``READDUO_RUN_CACHE_GZIP_MIN``, default 4 KiB, 0 disables) are
+    stored gzip-compressed with a pinned level and zeroed mtime, making
+    the file bytes a deterministic function of the payload; reads sniff
+    the gzip magic so plain and compressed entries coexist transparently.
+
     Args:
         root: The sweep-cache root (the same directory a
             :class:`SweepCache` uses); entries go in its ``runs/``
@@ -321,6 +372,7 @@ class RunCache(RunStore):
         base = Path(root) if root else default_cache_dir()
         self.cache_dir = base / RUN_CACHE_SUBDIR
         self.counters = CacheCounters()
+        self.gzip_min_bytes = _gzip_min_bytes()
 
     def path_for(self, key: str) -> Path:
         """The file one run's statistics live in."""
@@ -332,6 +384,26 @@ class RunCache(RunStore):
             return self.path_for(key).stat().st_size
         except OSError:
             return None
+
+    def entry_raw_bytes(self, key: str) -> Optional[int]:
+        """Uncompressed payload size of one entry, or ``None`` when absent.
+
+        For a gzip entry this reads the ISIZE trailer (the last four
+        bytes of any gzip stream: uncompressed length mod 2**32) instead
+        of decompressing; plain entries report their file size.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                if handle.read(2) != _GZIP_MAGIC:
+                    return path.stat().st_size
+                handle.seek(-4, os.SEEK_END)
+                trailer = handle.read(4)
+        except OSError:
+            return None
+        if len(trailer) != 4:
+            return None
+        return int(struct.unpack("<I", trailer)[0])
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move an unusable entry aside as ``<name>.bad`` and count it.
@@ -371,12 +443,17 @@ class RunCache(RunStore):
         """
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            if blob.startswith(_GZIP_MAGIC):
+                blob = gzip.decompress(blob)
+            payload = json.loads(blob.decode("utf-8"))
         except FileNotFoundError:
             self.counters.misses += 1
             return None
-        except (OSError, ValueError):
+        except (OSError, ValueError, EOFError, zlib.error):
+            # OSError covers gzip.BadGzipFile; EOFError a truncated
+            # stream; zlib.error a corrupt deflate body.
             self._quarantine(path, "unreadable")
             return None
         try:
@@ -408,9 +485,17 @@ class RunCache(RunStore):
             # order-sensitive float sums bit-identical after a reload.
             "stats": stats.to_dict(),
         }
+        # No sort_keys (see payload comment); compact separators keep the
+        # raw bytes — and therefore the compressed bytes — canonical.
+        blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if self.gzip_min_bytes and len(blob) >= self.gzip_min_bytes:
+            # mtime=0 + fixed level: compressed bytes are a pure function
+            # of the payload, so concurrent writers on any machine emit
+            # byte-identical files and last-write-wins is a no-op.
+            blob = gzip.compress(blob, compresslevel=_GZIP_LEVEL, mtime=0)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
         os.replace(tmp, path)
         self.counters.stores += 1
         return path

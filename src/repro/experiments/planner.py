@@ -30,6 +30,7 @@ is how the benchmark and CI smoke assert "warm rerun simulates zero".
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from contextlib import nullcontext
@@ -53,6 +54,8 @@ __all__ = [
     "plan_units",
     "build_plan",
     "execute_plan",
+    "lease_batch",
+    "lookup_cached",
     "clear_run_memo",
     "run_memo_capacity",
     "run_memo_size",
@@ -77,10 +80,17 @@ _RUN_MEMO: "OrderedDict[str, RunStats]" = OrderedDict()
 
 _RUN_MEMO_CAPACITY = DEFAULT_RUN_MEMO_CAPACITY
 
+#: Guards every memo mutation. The serve daemon's parallel executor runs
+#: several ``execute_plan`` calls concurrently on threads; individual
+#: OrderedDict operations are GIL-atomic in CPython, but the
+#: read-move-evict sequences here are not, so they take the lock.
+_RUN_MEMO_LOCK = threading.RLock()
+
 
 def clear_run_memo() -> None:
     """Drop the in-process per-run memo (tests use this for isolation)."""
-    _RUN_MEMO.clear()
+    with _RUN_MEMO_LOCK:
+        _RUN_MEMO.clear()
 
 
 def run_memo_size() -> int:
@@ -106,27 +116,30 @@ def set_run_memo_capacity(capacity: int) -> int:
     global _RUN_MEMO_CAPACITY
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
-    previous = _RUN_MEMO_CAPACITY
-    _RUN_MEMO_CAPACITY = int(capacity)
-    while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
-        _RUN_MEMO.popitem(last=False)
+    with _RUN_MEMO_LOCK:
+        previous = _RUN_MEMO_CAPACITY
+        _RUN_MEMO_CAPACITY = int(capacity)
+        while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
+            _RUN_MEMO.popitem(last=False)
     return previous
 
 
 def _memo_get(key: str) -> Optional[RunStats]:
     """LRU-aware memo lookup: a hit refreshes the entry's recency."""
-    stats = _RUN_MEMO.get(key)
-    if stats is not None:
-        _RUN_MEMO.move_to_end(key)
-    return stats
+    with _RUN_MEMO_LOCK:
+        stats = _RUN_MEMO.get(key)
+        if stats is not None:
+            _RUN_MEMO.move_to_end(key)
+        return stats
 
 
 def _memo_put(key: str, stats: RunStats) -> None:
     """Insert/refresh one memo entry, evicting LRU entries past the cap."""
-    _RUN_MEMO[key] = stats
-    _RUN_MEMO.move_to_end(key)
-    while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
-        _RUN_MEMO.popitem(last=False)
+    with _RUN_MEMO_LOCK:
+        _RUN_MEMO[key] = stats
+        _RUN_MEMO.move_to_end(key)
+        while len(_RUN_MEMO) > _RUN_MEMO_CAPACITY:
+            _RUN_MEMO.popitem(last=False)
 
 
 @dataclass(frozen=True)
@@ -262,6 +275,82 @@ def build_plan(specs: Sequence[SimSpec]) -> ExecutionPlan:
     return ExecutionPlan(specs=specs, units=units, stats=stats)
 
 
+def lease_batch(
+    pending: Sequence[RunUnit], max_units: int
+) -> List[RunUnit]:
+    """Slice one lease-sized batch off an ordered pending-unit sequence.
+
+    The distributed coordinator hands work to remote workers in batches;
+    this is the slicing policy, and it mirrors the work-stealing
+    executor's sticky same-workload assignment: the batch starts at the
+    oldest pending unit and greedily takes further units of the *same
+    workload* (anywhere in the queue) before padding with the oldest
+    remaining units. A worker that receives a same-workload batch
+    generates that workload's trace once (its process-local trace memo)
+    instead of once per unit — the same locality argument that shaped
+    ``run_units_parallel``.
+
+    Args:
+        pending: Units awaiting lease, oldest first.
+        max_units: Batch size bound (>= 1).
+
+    Returns:
+        The selected units, in queue order; empty when nothing pends.
+    """
+    if max_units < 1:
+        raise ValueError("max_units must be >= 1")
+    if not pending:
+        return []
+    anchor_workload = pending[0].workload
+    batch: List[RunUnit] = []
+    skipped: List[RunUnit] = []
+    for unit in pending:
+        if len(batch) >= max_units:
+            break
+        if unit.workload == anchor_workload:
+            batch.append(unit)
+        else:
+            skipped.append(unit)
+    for unit in skipped:
+        if len(batch) >= max_units:
+            break
+        batch.append(unit)
+    return batch
+
+
+def lookup_cached(
+    units: Sequence[RunUnit], store: Optional[RunStore] = None
+) -> Tuple[Dict[str, RunStats], Dict[str, str]]:
+    """Resolve units through memo → granular store, simulating nothing.
+
+    The distributed coordinator calls this before leasing anything so a
+    warm daemon answers from its cache hierarchy and only genuinely new
+    units travel to workers ("a warm rerun leases zero units"). Store
+    hits are promoted into the in-process memo, exactly as
+    :func:`execute_plan` would.
+
+    Returns:
+        ``(results, tiers)`` where ``tiers`` maps each resolved unit's
+        key to ``"memo"`` or ``"disk"``; unresolved units appear in
+        neither mapping.
+    """
+    results: Dict[str, RunStats] = {}
+    tiers: Dict[str, str] = {}
+    for unit in units:
+        hit = _memo_get(unit.key)
+        if hit is not None:
+            results[unit.key] = hit
+            tiers[unit.key] = "memo"
+            continue
+        if store is not None:
+            loaded = store.load(unit.key)
+            if loaded is not None:
+                results[unit.key] = loaded
+                tiers[unit.key] = "disk"
+                _memo_put(unit.key, loaded)
+    return results, tiers
+
+
 def _run_units_serial(
     units: Sequence[RunUnit],
     telemetry: Optional[Telemetry],
@@ -395,6 +484,7 @@ def execute_plan(
     trace_id = active_tracker.trace_id if active_tracker is not None else None
     tiers: Dict[str, str] = {}
     cached_bytes: Dict[str, int] = {}
+    raw_bytes: Dict[str, int] = {}
     provenance: Dict[str, Dict[str, Any]] = {}
     with scope, maybe_span(
         "plan.execute", units=len(plan.units), jobs=jobs
@@ -433,6 +523,9 @@ def execute_plan(
                     size = run_cache.entry_bytes(unit.key)
                     if size is not None:
                         cached_bytes[unit.key] = size
+                    raw = run_cache.entry_raw_bytes(unit.key)
+                    if raw is not None:
+                        raw_bytes[unit.key] = raw
                 else:
                     missing.append(unit)
             pending = missing
@@ -480,6 +573,9 @@ def execute_plan(
                             size = run_cache.entry_bytes(unit.key)
                             if size is not None:
                                 cached_bytes[unit.key] = size
+                            raw = run_cache.entry_raw_bytes(unit.key)
+                            if raw is not None:
+                                raw_bytes[unit.key] = raw
                 span.set_attr("migrated", stats.units_migrated)
             if stats.units_migrated:
                 _log.info(
@@ -514,6 +610,9 @@ def execute_plan(
                     size = run_cache.entry_bytes(unit.key)
                     if size is not None:
                         cached_bytes[unit.key] = size
+                    raw = run_cache.entry_raw_bytes(unit.key)
+                    if raw is not None:
+                        raw_bytes[unit.key] = raw
 
         for unit in plan.units:
             _memo_put(unit.key, results[unit.key])
@@ -574,6 +673,7 @@ def execute_plan(
                 t_s=prov.get("t_s"),
                 pid=prov.get("pid"),
                 cached_bytes=cached_bytes.get(unit.key),
+                raw_bytes=raw_bytes.get(unit.key),
                 faults=faults,
                 trace=trace_id,
             )

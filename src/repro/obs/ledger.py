@@ -89,10 +89,21 @@ class RunLedger:
         t_s: Optional[float] = None,
         pid: Optional[int] = None,
         cached_bytes: Optional[int] = None,
+        raw_bytes: Optional[int] = None,
         faults: Optional[Dict[str, Any]] = None,
         trace: Optional[str] = None,
+        worker: Optional[str] = None,
+        lease: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Append one unit record; returns the record dict written."""
+        """Append one unit record; returns the record dict written.
+
+        ``raw_bytes`` is the uncompressed size of the granular cache
+        entry (equal to ``cached_bytes`` for plain entries); ``worker``
+        and ``lease`` attribute units resolved through the distributed
+        coordinator to the worker id and lease that produced them —
+        ``None`` for local execution, and both are stripped along with
+        the timing fields when comparing ledgers for determinism.
+        """
         record = {
             "kind": LEDGER_RECORD_KIND,
             "plan": plan,
@@ -106,8 +117,11 @@ class RunLedger:
             "t_s": t_s,
             "pid": pid if pid is not None else os.getpid(),
             "cached_bytes": cached_bytes,
+            "raw_bytes": raw_bytes,
             "faults": faults,
             "trace": trace,
+            "worker": worker,
+            "lease": lease,
         }
         handle = self._ensure_open()
         handle.write(json.dumps(record, sort_keys=True))

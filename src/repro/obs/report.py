@@ -119,6 +119,20 @@ def summarize_ledger(
         fastpath.get("speculated", 0) / attempts if attempts else None
     )
 
+    stored_bytes = 0
+    raw_total = 0
+    sized_entries = 0
+    for record in first_by_hash.values():
+        stored = record.get("cached_bytes")
+        if not isinstance(stored, (int, float)):
+            continue
+        sized_entries += 1
+        stored_bytes += int(stored)
+        raw = record.get("raw_bytes")
+        # Pre-compression ledgers have no raw_bytes; entries stored
+        # plain report raw == stored either way.
+        raw_total += int(raw) if isinstance(raw, (int, float)) else int(stored)
+
     slowest = sorted(
         (r for r in simulated if r.get("wall_s") is not None),
         key=lambda r: r["wall_s"],
@@ -161,6 +175,12 @@ def summarize_ledger(
         "cached_units": cached,
         "cache_hit_ratio": (cached / n_units) if n_units else None,
         "units_simulated": unit_tiers["simulated"],
+        "cache_bytes": {
+            "entries": sized_entries,
+            "stored": stored_bytes,
+            "raw": raw_total,
+            "ratio": (stored_bytes / raw_total) if raw_total else None,
+        },
         "fastpath": fastpath,
         "speculation_success_rate": success_rate,
         "slowest": [
@@ -216,6 +236,14 @@ def render_ledger_report(
         f"cache hit ratio: {_pct(summary['cache_hit_ratio'])} "
         f"({summary['cached_units']}/{summary['units']} served without simulation)"
     )
+    cache_bytes = summary.get("cache_bytes") or {}
+    if cache_bytes.get("entries"):
+        ratio = cache_bytes.get("ratio")
+        lines.append(
+            f"granular cache entries: {cache_bytes['entries']} sized, "
+            f"{cache_bytes['stored']} B stored / {cache_bytes['raw']} B raw"
+            + (f" ({_pct(ratio)} of raw)" if ratio is not None else "")
+        )
     fastpath = summary["fastpath"]
     if fastpath or summary["units_simulated"]:
         lines.append("fastpath speculation (simulated units):")

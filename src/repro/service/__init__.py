@@ -20,14 +20,24 @@ telemetry. This package owns that wiring once, behind two surfaces:
   plugs into);
 * :mod:`repro.service.client` — a dependency-free HTTP/JSON client for
   the daemon (used by the load-test benchmark, the smoke tests, and any
-  script that wants to talk to a running server).
+  script that wants to talk to a running server);
+* :mod:`repro.service.coordinator` + :mod:`repro.service.worker` —
+  distributed execution: the daemon (``--distributed``) leases
+  content-addressed run-unit batches to ``readduo worker`` processes
+  with TTL/requeue resilience, and the workers share one granular
+  cache through :class:`~repro.service.store.RemoteRunStore`.
 
-See docs/SERVING.md for the HTTP API, coalescing semantics, and the
-operations runbook.
+See docs/SERVING.md for the HTTP API and coalescing semantics, and
+docs/DISTRIBUTED.md for the lease protocol and its runbook.
 """
 
 from .execution import ExecutionOutcome, ExecutionService, sweep_payload
-from .store import FilesystemRunStore, MemoryRunStore, RunStore
+from .store import (
+    FilesystemRunStore,
+    MemoryRunStore,
+    RemoteRunStore,
+    RunStore,
+)
 
 __all__ = [
     "ExecutionOutcome",
@@ -36,4 +46,5 @@ __all__ = [
     "RunStore",
     "FilesystemRunStore",
     "MemoryRunStore",
+    "RemoteRunStore",
 ]

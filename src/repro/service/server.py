@@ -17,7 +17,16 @@ JSON:
   ``coalesced`` events for units joined in flight), then one final
   ``result`` line;
 * ``POST /v1/memo/clear`` — drop the in-process run memo (memory-
-  pressure hook).
+  pressure hook);
+* ``GET/PUT /v1/store/{run_hash}`` — the shared granular run store,
+  read and written by distributed workers (and any cache-warming
+  client); entries are content-addressed, so writes are conflict-free;
+* ``POST /v1/lease`` / ``/v1/heartbeat`` / ``/v1/complete`` — the
+  distributed execution protocol (``distributed=True``): submitted
+  specs decompose into run units, warm units resolve from the local
+  cache hierarchy, and the remainder are leased to ``readduo worker``
+  processes with TTL + requeue resilience (see
+  :mod:`repro.service.coordinator` and docs/DISTRIBUTED.md).
 
 **Coalescing.** Every submitted spec decomposes into run units keyed by
 :meth:`SimSpec.run_hash` — the same identity the planner, memo, and
@@ -52,11 +61,20 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..core.registry import scheme_catalog
+from ..memsim.stats import RunStats
 from ..obs import Telemetry, get_logger
 from ..obs.ledger import RunLedger
-from ..experiments.planner import RunUnit, plan_units
+from ..experiments.cache import RunStore
+from ..experiments.planner import PlanStats, RunUnit, lookup_cached, plan_units
 from ..experiments.spec import SimSpec, SpecError
+from .coordinator import LeaseCoordinator
 from .execution import CacheSpec, ExecutionService, sweep_payload
+from .store import (
+    FilesystemRunStore,
+    MemoryRunStore,
+    parse_store_entry,
+    store_entry_payload,
+)
 
 __all__ = ["ServeConfig", "SimServer", "run_server"]
 
@@ -87,6 +105,21 @@ class ServeConfig:
             works with or without it (records always flow to
             subscribers, and to disk only when a path is given).
         max_body_bytes: Request-body size bound (``413`` beyond it).
+        executor_workers: Threads in the owner-execution pool. Each
+            admitted submit's owned units execute as one unit of work on
+            the pool, so warm/cheap submits are no longer head-of-line
+            blocked behind a long simulation (the PR 8 p99 bottleneck);
+            per-hash coalescing still guarantees each distinct unit
+            executes once.
+        distributed: Enable the lease coordinator: owned units that the
+            local cache hierarchy cannot satisfy are leased to
+            ``readduo worker`` processes instead of executing on the
+            pool. Requires at least one worker polling ``/v1/lease``
+            (units exhausted by ``max_requeues`` fall back to the pool).
+        lease_ttl_s: Lease lifetime; workers heartbeat to extend it.
+        lease_units: Largest unit batch one lease may carry.
+        max_requeues: Expiry/abandonment requeues a unit survives before
+            local-fallback execution.
     """
 
     host: str = "127.0.0.1"
@@ -98,6 +131,11 @@ class ServeConfig:
     max_pending: int = 64
     ledger: Optional[str] = None
     max_body_bytes: int = 1 << 20
+    executor_workers: int = 4
+    distributed: bool = False
+    lease_ttl_s: float = 30.0
+    lease_units: int = 8
+    max_requeues: int = 3
 
 
 class _RelayLedger(RunLedger):
@@ -133,6 +171,9 @@ class SimServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self.service: Optional[ExecutionService] = None
+        self.run_store: Optional[RunStore] = None
+        self.coordinator: Optional[LeaseCoordinator] = None
+        self._dist_plan: Optional[int] = None
         #: One future per in-flight run unit, keyed by run hash.
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
         #: Live progress subscriptions (streaming submits).
@@ -155,13 +196,16 @@ class SimServer:
     async def start(self) -> None:
         """Bind the socket and stand up the execution backend."""
         self._loop = asyncio.get_running_loop()
-        # One worker thread: executions funnel through it in admission
-        # order, which keeps the ledger/plan sequence deterministic and
-        # matches the process's real parallelism budget (``jobs``
-        # controls fan-out *inside* an execution). Coalesced and warm
-        # requests never need the thread at all.
+        # A bounded pool, not a single thread: each admitted submit's
+        # owned units run as one pool task, so a warm or cheap submit is
+        # never head-of-line blocked behind a long simulation. Per-hash
+        # coalescing (one in-flight future per run hash) still makes
+        # each distinct unit execute exactly once; the pool bound keeps
+        # the process's parallelism budget explicit (``jobs`` controls
+        # fan-out *inside* an execution).
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="readduo-exec"
+            max_workers=max(1, self.config.executor_workers),
+            thread_name_prefix="readduo-exec",
         )
         ledger = _RelayLedger(self.config.ledger, self._relay_record)
         self.service = ExecutionService(
@@ -170,10 +214,32 @@ class SimServer:
             telemetry=Telemetry(ledger=ledger),
             memo_capacity=self.config.memo_capacity,
         )
+        # The shared granular store behind GET/PUT /v1/store/{hash}: the
+        # cache-backed run store when persistence is on, an in-process
+        # store otherwise, so workers share one cache either way.
+        if self.service.cache is not None:
+            self.run_store = FilesystemRunStore(self.service.cache.cache_dir)
+        else:
+            self.run_store = MemoryRunStore()
+        self.service.store = self.run_store
+        if self.config.distributed:
+            self.coordinator = LeaseCoordinator(
+                ttl_s=self.config.lease_ttl_s,
+                max_units=self.config.lease_units,
+                max_requeues=self.config.max_requeues,
+                fallback=self._local_fallback,
+                on_complete=self._on_worker_complete,
+            )
+            self.coordinator.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
-        _log.info("serving on %s:%d", self.config.host, self.port)
+        _log.info(
+            "serving on %s:%d (%d executor thread(s)%s)",
+            self.config.host, self.port,
+            max(1, self.config.executor_workers),
+            ", distributed" if self.config.distributed else "",
+        )
 
     @property
     def port(self) -> int:
@@ -187,6 +253,9 @@ class SimServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self.coordinator is not None:
+            await self.coordinator.stop()
+            self.coordinator = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -315,8 +384,27 @@ class SimServer:
         elif path == "/v1/submit" and method == "POST":
             stream = query.get("stream", ["0"])[0] not in ("", "0", "false")
             await self._handle_submit(body, client, stream, writer)
+        elif path.startswith("/v1/store/"):
+            key = path[len("/v1/store/"):]
+            if "/" in key or not key:
+                await _send_json(writer, 404, {"error": "malformed store key"})
+            elif method == "GET":
+                await self._handle_store_get(key, writer)
+            elif method == "PUT":
+                await self._handle_store_put(key, body, writer)
+            else:
+                await _send_json(
+                    writer, 405, {"error": f"method {method} not allowed"}
+                )
+        elif path == "/v1/lease" and method == "POST":
+            await self._handle_lease(body, writer)
+        elif path == "/v1/heartbeat" and method == "POST":
+            await self._handle_heartbeat(body, writer)
+        elif path == "/v1/complete" and method == "POST":
+            await self._handle_complete(body, writer)
         elif path in ("/v1/health", "/v1/schemes", "/v1/stats",
-                      "/v1/memo/clear", "/v1/submit"):
+                      "/v1/memo/clear", "/v1/submit", "/v1/lease",
+                      "/v1/heartbeat", "/v1/complete"):
             await _send_json(
                 writer, 405, {"error": f"method {method} not allowed"}
             )
@@ -339,8 +427,194 @@ class SimServer:
             "limits": {
                 "max_pending": self.config.max_pending,
                 "max_inflight_per_client": self.config.max_inflight_per_client,
+                "executor_workers": max(1, self.config.executor_workers),
             },
+            "store": (
+                type(self.run_store).__name__
+                if self.run_store is not None else None
+            ),
+            "distributed": self.config.distributed,
+            "coordinator": (
+                self.coordinator.snapshot()
+                if self.coordinator is not None else None
+            ),
         }
+
+    # ------------------------------------------------------ store endpoints
+
+    async def _handle_store_get(
+        self, key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self.run_store is not None
+        stats = self.run_store.load(key)
+        if stats is None:
+            await _send_json(writer, 404, {"error": f"no entry for {key}"})
+            return
+        await _send_json(
+            writer, 200, store_entry_payload(key, stats), sort_keys=False
+        )
+
+    async def _handle_store_put(
+        self, key: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self.run_store is not None
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except ValueError as exc:
+            await _send_json(writer, 400, {"error": str(exc)})
+            return
+        stats = (
+            parse_store_entry(payload, key)
+            if isinstance(payload, dict) else None
+        )
+        if stats is None:
+            await _send_json(writer, 400, {"error": "unusable store entry"})
+            return
+        self.run_store.store(key, stats)
+        await _send_json(writer, 200, {"stored": key})
+
+    # ------------------------------------------------- distributed protocol
+
+    def _parse_doc(self, body: bytes) -> Dict[str, Any]:
+        document = json.loads(body.decode("utf-8") or "{}")
+        if not isinstance(document, dict):
+            raise ValueError("expected a JSON object")
+        return document
+
+    async def _handle_lease(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.coordinator is None:
+            await _send_json(
+                writer, 409, {"error": "distributed mode disabled"}
+            )
+            return
+        try:
+            document = self._parse_doc(body)
+        except ValueError as exc:
+            await _send_json(writer, 400, {"error": str(exc)})
+            return
+        worker = str(document.get("worker") or "anonymous")
+        max_units = document.get("max_units")
+        granted = self.coordinator.lease(
+            worker, max_units if isinstance(max_units, int) else None
+        )
+        if granted is None:
+            await _send_json(writer, 200, {"lease": None, "units": []})
+            return
+        await _send_json(writer, 200, granted)
+
+    async def _handle_heartbeat(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.coordinator is None:
+            await _send_json(
+                writer, 409, {"error": "distributed mode disabled"}
+            )
+            return
+        try:
+            document = self._parse_doc(body)
+        except ValueError as exc:
+            await _send_json(writer, 400, {"error": str(exc)})
+            return
+        lease_id = str(document.get("lease") or "")
+        worker = str(document.get("worker") or "")
+        ttl = self.coordinator.heartbeat(lease_id, worker)
+        if ttl is None:
+            await _send_json(
+                writer, 404,
+                {"error": f"unknown lease {lease_id}", "lease": lease_id},
+            )
+            return
+        await _send_json(writer, 200, {"ok": True, "ttl_s": ttl})
+
+    async def _handle_complete(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.coordinator is None:
+            await _send_json(
+                writer, 409, {"error": "distributed mode disabled"}
+            )
+            return
+        try:
+            document = self._parse_doc(body)
+        except ValueError as exc:
+            await _send_json(writer, 400, {"error": str(exc)})
+            return
+        lease_id = str(document.get("lease") or "")
+        worker = str(document.get("worker") or "anonymous")
+        results = document.get("results")
+        valid: Dict[str, Dict[str, Any]] = {}
+        invalid = 0
+        if isinstance(results, dict):
+            for key, payload in results.items():
+                if not isinstance(payload, dict):
+                    invalid += 1
+                    continue
+                try:
+                    parsed = dict(payload)
+                    # Validate the stats BEFORE any future resolves with
+                    # them: a worker pushing garbage must not poison
+                    # waiting submits.
+                    parsed["stats"] = RunStats.from_dict(payload["stats"])
+                except (KeyError, TypeError, ValueError):
+                    invalid += 1
+                    continue
+                valid[str(key)] = parsed
+        outcome = self.coordinator.complete(lease_id, worker, valid)
+        outcome["invalid"] = invalid
+        await _send_json(writer, 200, outcome)
+
+    def _on_worker_complete(
+        self, unit: RunUnit, stats: RunStats, meta: Dict[str, Any]
+    ) -> None:
+        """Coordinator hook: persist + ledger one worker-resolved unit."""
+        assert self.run_store is not None
+        self.run_store.store(unit.key, stats)
+        ledger = (
+            self.service.telemetry.ledger
+            if self.service is not None and self.service.telemetry is not None
+            else None
+        )
+        if ledger is None:
+            return
+        if self._dist_plan is None:
+            self._dist_plan = ledger.begin_plan()
+        tier = meta.get("tier")
+        if tier not in ("memo", "disk", "migrated", "simulated"):
+            tier = "simulated"
+        engine = meta.get("engine")
+        if engine not in ("batch", "event"):
+            engine = unit.spec.engine
+        ledger.record(
+            plan=self._dist_plan,
+            run_hash=unit.key,
+            workload=unit.workload,
+            scheme=unit.scheme,
+            tier=tier,
+            engine=engine,
+            fastpath=meta.get("fastpath"),
+            wall_s=meta.get("wall_s"),
+            cached_bytes=self.run_store.entry_bytes(unit.key),
+            raw_bytes=self.run_store.entry_raw_bytes(unit.key),
+            worker=meta.get("worker"),
+            lease=meta.get("lease"),
+        )
+
+    async def _local_fallback(self, units: List[RunUnit]) -> None:
+        """Execute requeue-exhausted units on the daemon's own pool."""
+        assert (
+            self.service is not None
+            and self.coordinator is not None
+            and self._loop is not None
+        )
+        outcome = await self._loop.run_in_executor(
+            self._executor,
+            self.service.submit,
+            [unit.spec for unit in units],
+        )
+        for unit in units:
+            self.coordinator.resolve_local(unit.key, outcome.results[unit.key])
 
     # -------------------------------------------------------------- submit
 
@@ -468,14 +742,19 @@ class SimServer:
         plan_stats: Optional[Dict[str, Any]] = None
         if owned:
             try:
-                outcome = await self._loop.run_in_executor(
-                    self._executor,
-                    self.service.submit,
-                    [unit.spec for unit in owned],
-                )
-                plan_stats = outcome.stats.as_dict()
-                for unit in owned:
-                    futures[unit.key].set_result(outcome.results[unit.key])
+                if self.coordinator is not None:
+                    plan_stats = await self._resolve_distributed(owned, futures)
+                else:
+                    outcome = await self._loop.run_in_executor(
+                        self._executor,
+                        self.service.submit,
+                        [unit.spec for unit in owned],
+                    )
+                    plan_stats = outcome.stats.as_dict()
+                    for unit in owned:
+                        futures[unit.key].set_result(
+                            outcome.results[unit.key]
+                        )
             except BaseException as exc:
                 for unit in owned:
                     if not futures[unit.key].done():
@@ -508,6 +787,82 @@ class SimServer:
         }
         return payload
 
+    async def _resolve_distributed(
+        self,
+        owned: List[RunUnit],
+        futures: Dict[str, "asyncio.Future[Any]"],
+    ) -> Dict[str, Any]:
+        """Resolve owned units: local cache hierarchy first, leases after.
+
+        Warm units (in-process memo or the shared granular store) never
+        lease — that is what makes a warm rerun lease zero units — and
+        get ledger records exactly as local execution would write them.
+        The remainder enter the coordinator queue and resolve when a
+        worker completes them (or the bounded-retry fallback executes
+        them on the local pool).
+        """
+        assert (
+            self.service is not None
+            and self.coordinator is not None
+            and self._loop is not None
+            and self.run_store is not None
+        )
+        stats = PlanStats(units_total=len(owned))
+        cached, tiers = await self._loop.run_in_executor(
+            self._executor, lookup_cached, owned, self.run_store
+        )
+        ledger = (
+            self.service.telemetry.ledger
+            if self.service.telemetry is not None else None
+        )
+        plan_no = ledger.begin_plan() if ledger is not None else 0
+        remaining: List[RunUnit] = []
+        for unit in owned:
+            hit = cached.get(unit.key)
+            if hit is None:
+                remaining.append(unit)
+                continue
+            tier = tiers[unit.key]
+            if tier == "memo":
+                stats.units_memo += 1
+            else:
+                stats.units_disk += 1
+            if ledger is not None:
+                on_disk = tier == "disk"
+                ledger.record(
+                    plan=plan_no,
+                    run_hash=unit.key,
+                    workload=unit.workload,
+                    scheme=unit.scheme,
+                    tier=tier,
+                    engine=unit.spec.engine,
+                    cached_bytes=(
+                        self.run_store.entry_bytes(unit.key)
+                        if on_disk else None
+                    ),
+                    raw_bytes=(
+                        self.run_store.entry_raw_bytes(unit.key)
+                        if on_disk else None
+                    ),
+                )
+            futures[unit.key].set_result(hit)
+        # From the daemon's perspective every leased unit is work it did
+        # not have cached; the worker may still satisfy some from its own
+        # hierarchy (its ledger records carry the true tier).
+        stats.units_simulated = len(remaining)
+        if remaining:
+            coord_futures = self.coordinator.enqueue(remaining)
+            for unit in remaining:
+                value = await asyncio.shield(coord_futures[unit.key])
+                result = (
+                    value if isinstance(value, RunStats)
+                    else RunStats.from_dict(value)
+                )
+                futures[unit.key].set_result(result)
+        payload = stats.as_dict()
+        payload["units_leased"] = len(remaining)
+        return payload
+
 
 # ----------------------------------------------------------- HTTP plumbing
 
@@ -527,8 +882,12 @@ async def _send_json(
     status: int,
     payload: Dict[str, Any],
     extra_headers: Optional[Dict[str, str]] = None,
+    sort_keys: bool = True,
 ) -> None:
-    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    # sort_keys=False is for payloads embedding RunStats.to_dict():
+    # their insertion order carries the order-sensitive float-sum
+    # reproducibility guarantee and must survive the wire.
+    body = json.dumps(payload, sort_keys=sort_keys).encode("utf-8")
     headers = [
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
         "Content-Type: application/json",

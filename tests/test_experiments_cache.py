@@ -230,3 +230,107 @@ class TestParallelSerialCacheEquivalence:
         serial = run_sweep(SMALL, jobs=1)
         cached = SweepCache(tmp_path).load(SMALL)
         assert _flat(serial) == _flat(parallel) == _flat(cached)
+
+
+class TestRunCacheGzip:
+    """Transparent gzip compression of granular run-cache entries."""
+
+    @pytest.fixture(scope="class")
+    def one_stats(self):
+        grid = run_sweep(
+            SweepSettings(
+                schemes=("Ideal",), workloads=("gcc",), target_requests=400
+            ),
+            jobs=1, cache=False,
+        )
+        return grid["gcc"]["Ideal"]
+
+    def _cache(self, tmp_path, monkeypatch, min_bytes):
+        from repro.experiments.cache import RUN_GZIP_MIN_ENV, RunCache
+
+        monkeypatch.setenv(RUN_GZIP_MIN_ENV, str(min_bytes))
+        return RunCache(tmp_path)
+
+    def test_below_threshold_stays_plain_json(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        cache = self._cache(tmp_path, monkeypatch, 10**9)
+        path = cache.store("k1", one_stats)
+        blob = path.read_bytes()
+        assert blob[:1] == b"{"  # plain JSON, no gzip magic
+        assert cache.load("k1").to_dict() == one_stats.to_dict()
+        assert cache.entry_raw_bytes("k1") == len(blob)
+        assert cache.entry_bytes("k1") == len(blob)
+
+    def test_above_threshold_compresses_and_round_trips(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        cache = self._cache(tmp_path, monkeypatch, 1)
+        path = cache.store("k1", one_stats)
+        blob = path.read_bytes()
+        assert blob[:2] == b"\x1f\x8b"  # gzip magic
+        loaded = cache.load("k1")
+        assert loaded is not None
+        assert loaded.to_dict() == one_stats.to_dict()
+        # Raw size comes from the gzip ISIZE trailer, stored from st_size.
+        raw = cache.entry_raw_bytes("k1")
+        stored = cache.entry_bytes("k1")
+        assert stored == len(blob)
+        assert raw > stored  # run stats compress well
+
+    def test_reload_preserves_order_sensitive_floats(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        # Bit-for-bit: the decompressed payload must preserve insertion
+        # order so order-sensitive float sums reload to the last ulp.
+        cache = self._cache(tmp_path, monkeypatch, 1)
+        cache.store("k1", one_stats)
+        assert list(cache.load("k1").to_dict()) == list(one_stats.to_dict())
+
+    def test_compressed_bytes_are_deterministic(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        a = self._cache(tmp_path / "a", monkeypatch, 1)
+        b = self._cache(tmp_path / "b", monkeypatch, 1)
+        path_a = a.store("k1", one_stats)
+        path_b = b.store("k1", one_stats)
+        # mtime=0 in the gzip header: independent writers emit identical
+        # bytes, so concurrent last-write-wins stores are a no-op.
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_both_formats_coexist_transparently(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        plain = self._cache(tmp_path, monkeypatch, 10**9)
+        plain.store("plain-key", one_stats)
+        mixed = self._cache(tmp_path, monkeypatch, 1)
+        mixed.store("gz-key", one_stats)
+        for key in ("plain-key", "gz-key"):
+            loaded = mixed.load(key)
+            assert loaded is not None
+            assert loaded.to_dict() == one_stats.to_dict()
+
+    def test_truncated_gzip_entry_is_a_miss(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        cache = self._cache(tmp_path, monkeypatch, 1)
+        path = cache.store("k1", one_stats)
+        path.write_bytes(path.read_bytes()[:20])  # truncate mid-stream
+        assert cache.load("k1") is None
+
+    def test_zero_disables_compression(
+        self, tmp_path, monkeypatch, one_stats
+    ):
+        cache = self._cache(tmp_path, monkeypatch, 0)
+        path = cache.store("k1", one_stats)
+        assert path.read_bytes()[:1] == b"{"
+
+    def test_garbage_env_falls_back_to_default(self, tmp_path, monkeypatch):
+        from repro.experiments.cache import (
+            _DEFAULT_GZIP_MIN_BYTES,
+            RUN_GZIP_MIN_ENV,
+            RunCache,
+        )
+
+        monkeypatch.setenv(RUN_GZIP_MIN_ENV, "not-a-number")
+        assert RunCache(tmp_path).gzip_min_bytes == _DEFAULT_GZIP_MIN_BYTES

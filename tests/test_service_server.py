@@ -323,3 +323,49 @@ class TestStats:
         assert stats["limits"]["max_pending"] == 64
         assert stats["ledger_records"] == 1
         assert 0.0 <= stats["coalescing_ratio"] <= 1.0
+
+
+class TestExecutorPool:
+    """The bounded submit-executor pool (serve's tail-latency fix)."""
+
+    def test_pool_size_reported_in_stats(self):
+        async def body(server, client):
+            return await client.stats()
+
+        stats = run(body, executor_workers=3)
+        assert stats["limits"]["executor_workers"] == 3
+        assert stats["distributed"] is False
+        assert stats["coordinator"] is None
+
+    def test_warm_submit_bypasses_long_cold_simulation(self):
+        # The head-of-line scenario the pool exists for: a memo-warm
+        # submit must not queue behind a long-running cold simulation.
+        async def body(server, client):
+            await client.submit(DOC)  # warm DOC's unit in the memo
+            long_doc = {
+                "schemes": ["Hybrid"],
+                "workloads": ["mcf"],
+                "target_requests": 200_000,
+            }
+            long_task = asyncio.ensure_future(client.submit(long_doc))
+            await asyncio.sleep(0.05)  # let the long sim take a thread
+            await client.submit(DOC)
+            warm_done_first = not long_task.done()
+            await long_task
+            return warm_done_first
+
+        assert run(body, executor_workers=2)
+
+    def test_concurrent_distinct_submits_all_complete(self):
+        async def body(server, client):
+            docs = [dict(DOC, seed=500 + i) for i in range(6)]
+            payloads = await asyncio.gather(
+                *(client.submit(doc) for doc in docs)
+            )
+            return payloads, await client.stats()
+
+        payloads, stats = run(body, executor_workers=2)
+        assert len(payloads) == 6
+        assert stats["counters"]["units_owned"] == 6
+        seeds = {p["seed"] for p in payloads}
+        assert seeds == {500 + i for i in range(6)}
