@@ -21,6 +21,18 @@ Subcommands:
   event-level oracle), rewrite ``results/BENCH_sweep.json`` through
   the same code path the ``benchmarks/`` harness uses, and append one
   entry to ``results/BENCH_history.jsonl`` (see docs/PERFORMANCE.md).
+  ``--dist`` benchmarks the distributed topology instead
+  (``results/BENCH_dist.json``); ``--explore`` benchmarks the
+  design-space explorer (``results/BENCH_explore.json``: requests
+  saved vs an exhaustive grid, warm-rerun gate).
+* ``explore`` — design-space exploration: successive halving with
+  Pareto (non-dominated) promotion over (scheme x ECC strength x scrub
+  interval x config) candidates, scoring EDAP vs TLC, analytic FIT
+  margin, and wear vs Ideal; writes ``results/frontier.json`` and a
+  frontier table. Resolves through the same execution layer as
+  ``sweep`` (or a daemon with ``--via-serve URL``), so reruns and
+  killed-and-resumed explorations re-simulate nothing
+  (see docs/EXPLORE.md).
 * ``report`` — aggregate a run-provenance ledger (``--ledger``) and/or
   metrics snapshot into cache-tier hit ratios, speculation success
   rates, slowest units, and per-worker utilization; ``report --bench``
@@ -534,10 +546,115 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """Successive-halving Pareto exploration (see docs/EXPLORE.md)."""
+    from .explore import (
+        ExploreError,
+        ExploreSpace,
+        LocalExploreBackend,
+        ServeExploreBackend,
+        explore,
+    )
+    from .explore.engine import write_frontier
+
+    if args.space is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--schemes", args.schemes),
+                ("--ecc-strengths", args.ecc_strengths),
+                ("--scrub-intervals", args.scrub_intervals),
+                ("--workload", args.workload),
+                ("--seed", args.seed),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                f"--space conflicts with {', '.join(conflicting)}; "
+                "put those values in the space file instead",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            space = ExploreSpace.from_file(args.space)
+        except (ExploreError, OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        kwargs = {}
+        if args.schemes is not None:
+            kwargs["schemes"] = tuple(args.schemes)
+        if args.ecc_strengths is not None:
+            kwargs["ecc_strengths"] = tuple(args.ecc_strengths)
+        if args.scrub_intervals is not None:
+            kwargs["scrub_intervals_s"] = tuple(args.scrub_intervals)
+        if args.workload is not None:
+            kwargs["workload"] = args.workload
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        try:
+            space = ExploreSpace(**kwargs)
+        except ExploreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    tele = _build_telemetry(args)
+    _log.info("exploring %s", space.describe())
+    with _cli_tracker(args, tele, "explore"):
+        try:
+            if args.via_serve:
+                from urllib.parse import urlparse
+
+                from .service.client import ServeClient
+
+                parsed = urlparse(args.via_serve)
+                client = ServeClient(
+                    host=parsed.hostname or "127.0.0.1",
+                    port=parsed.port or 8787,
+                )
+                result = explore(
+                    space,
+                    args.budget,
+                    base_budget=args.base_budget,
+                    eta=args.eta,
+                    backend=ServeExploreBackend(client),
+                    telemetry=tele,
+                )
+            else:
+                service = _make_service(args, tele)
+                with service:
+                    result = explore(
+                        space,
+                        args.budget,
+                        base_budget=args.base_budget,
+                        eta=args.eta,
+                        backend=LocalExploreBackend(service),
+                        telemetry=tele,
+                    )
+        except ExploreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.output == "-":
+            # Pure JSON on stdout; the human-readable table moves to stderr.
+            print(result.render(), file=sys.stderr)
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
+            write_frontier(result, args.output)
+            print(
+                f"wrote {args.output}: {len(result.frontier)} frontier "
+                f"member(s), digest {result.frontier_digest()[:12]}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.bench import (
         run_bench_suite,
         run_dist_bench,
+        run_explore_bench,
         run_serve_bench,
     )
 
@@ -560,6 +677,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"digests {'match' if dist['digests_match'] else 'DIVERGED'}"
         )
         return 0 if dist["digests_match"] else 1
+
+    if args.explore:
+        payload = run_explore_bench(
+            results_dir=args.results_dir,
+            log=say,
+        )
+        section = payload["explore"]
+        say(
+            f"wrote {args.results_dir}/BENCH_explore.json: "
+            f"{section['requests_saved_ratio']:.3f} of exhaustive-grid "
+            f"requests saved, warm re-explore simulated "
+            f"{section['warm_units_simulated']} unit(s)"
+        )
+        return 0 if section["warm_units_simulated"] == 0 else 1
 
     if args.serve:
         payload = run_serve_bench(
@@ -782,6 +913,14 @@ def build_parser() -> argparse.ArgumentParser:
              "to reproduce the pre-pool tail latency)",
     )
     p_bench.add_argument(
+        "--explore", action="store_true",
+        help="run the design-space-exploration benchmark instead: "
+             "requests saved vs an exhaustive grid (pruning + dedup) and "
+             "warm-re-explore cache behavior; writes "
+             "results/BENCH_explore.json and exits 1 if the warm "
+             "re-explore simulated any unit",
+    )
+    p_bench.add_argument(
         "--dist", action="store_true",
         help="run the distributed-execution benchmark instead "
              "(coordinator + real worker subprocesses); writes "
@@ -838,6 +977,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 3 when --bench flags a regression beyond the threshold",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="search the scheme/ECC/scrub design space for the "
+             "EDAP / FIT / wear Pareto frontier via successive halving "
+             "(see docs/EXPLORE.md)",
+    )
+    p_explore.add_argument(
+        "--space", metavar="FILE", default=None,
+        help="load the whole exploration space from a JSON file "
+             "(conflicts with --schemes/--ecc-strengths/--scrub-intervals/"
+             "--workload/--seed; supports 'families' cross-products, see "
+             "docs/EXPLORE.md)",
+    )
+    p_explore.add_argument(
+        "--schemes", nargs="*", default=None,
+        help="candidate schemes (default: Hybrid LWT-2 LWT-4 "
+             "Select-4:1 Select-4:2)",
+    )
+    p_explore.add_argument(
+        "--ecc-strengths", type=_positive_int, nargs="*", default=None,
+        metavar="E",
+        help="analytic BCH correction strengths to score under "
+             "(default: 8, the paper's regime)",
+    )
+    p_explore.add_argument(
+        "--scrub-intervals", type=float, nargs="*", default=None,
+        metavar="S",
+        help="scrub intervals in seconds to score under (default: 640, "
+             "the paper's M-scrub interval)",
+    )
+    p_explore.add_argument(
+        "--workload", default=None, choices=workload_names(),
+        help="workload trace candidates run on (default: mcf)",
+    )
+    p_explore.add_argument(
+        "--seed", type=int, default=None,
+        help="trace/policy seed (default: 42)",
+    )
+    p_explore.add_argument(
+        "--budget", type=_positive_int, default=8_000,
+        help="final simulated requests per candidate (default: 8000); "
+             "frontier members' stats are bit-identical to a direct run "
+             "at this budget",
+    )
+    p_explore.add_argument(
+        "--base-budget", type=_positive_int, default=None, metavar="N",
+        help="first-rung budget (default: budget // eta^2)",
+    )
+    p_explore.add_argument(
+        "--eta", type=int, default=2,
+        help="geometric rung growth factor (default: 2)",
+    )
+    p_explore.add_argument(
+        "--output", default="results/frontier.json", metavar="FILE",
+        help="frontier artifact path (default: results/frontier.json; "
+             "'-' prints JSON to stdout, table to stderr)",
+    )
+    p_explore.add_argument(
+        "--via-serve", metavar="URL", default=None,
+        help="resolve candidate batches through a running `readduo "
+             "serve` daemon at URL instead of in-process execution "
+             "(frontier is bit-identical either way)",
+    )
+    _add_sweep_execution_flags(p_explore)
+    _add_observability_flags(p_explore, ledger=True)
+    p_explore.set_defaults(func=_cmd_explore)
 
     p_schemes = sub.add_parser(
         "schemes",

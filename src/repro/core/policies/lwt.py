@@ -27,6 +27,7 @@ __all__ = ["LwtPolicy"]
     ),
     listed=("LWT-2", "LWT-4", "LWT-4-noconv"),
     syntax="LWT-<k>[-noconv]",
+    axes=("k", "conversion_enabled"),
 )
 class LwtPolicy(BaseDriftPolicy):
     """ReadDuo-LWT-k (Section III-C): last-write tracking + conversion.

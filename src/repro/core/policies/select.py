@@ -19,6 +19,7 @@ __all__ = ["SelectPolicy"]
     canonical=lambda params: "Select-{}:{}".format(params["k"], params["s"]),
     listed=("Select-4:1", "Select-4:2"),
     syntax="Select-<k>:<s>",
+    axes=("k", "s"),
 )
 class SelectPolicy(LwtPolicy):
     """ReadDuo-Select-(k:s) (Section III-D): selective differential write.

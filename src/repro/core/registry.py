@@ -27,9 +27,10 @@ aliases (case-insensitive, optional ``readduo-`` prefix:
 
 from __future__ import annotations
 
+import itertools
 import re
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "SchemeFamily",
@@ -41,6 +42,7 @@ __all__ = [
     "family_syntaxes",
     "is_scheme_name",
     "canonical_scheme_name",
+    "enumerate_family",
     "make_policy",
     "unknown_scheme_message",
 ]
@@ -69,6 +71,10 @@ class SchemeFamily:
             :func:`scheme_names`); a family lists its paper variants.
         syntax: Human-readable family syntax (``LWT-<k>[-noconv]``) for
             error messages; ``None`` for fixed-name schemes.
+        axes: Parameter axes of the family, in enumeration order —
+            the keys :func:`enumerate_family` cross-products over
+            (``("k", "s")`` for ``Select-<k>:<s>``). Empty for fixed
+            names and families that opt out of enumeration.
     """
 
     key: str
@@ -79,6 +85,7 @@ class SchemeFamily:
     canonical: Callable[[ParamDict], str]
     listed: Tuple[str, ...]
     syntax: Optional[str] = None
+    axes: Tuple[str, ...] = field(default=())
 
 
 #: Registration-order registry (dicts preserve insertion order).
@@ -95,6 +102,7 @@ def register_scheme(
     syntax: Optional[str] = None,
     params: Optional[ParamDict] = None,
     factory: Optional[Callable[..., Any]] = None,
+    axes: Optional[Tuple[str, ...]] = None,
 ):
     """Class decorator (also usable as a plain call) registering a scheme.
 
@@ -118,6 +126,8 @@ def register_scheme(
         syntax: Family syntax shown in unknown-scheme errors.
         params: Preset constructor kwargs for fixed-name schemes.
         factory: Override factory; defaults to the decorated class.
+        axes: Parameter axes (canonical-renderer keys) in enumeration
+            order, enabling :func:`enumerate_family` for this family.
 
     Raises:
         ValueError: On a duplicate key or inconsistent arguments.
@@ -130,6 +140,8 @@ def register_scheme(
         raise ValueError("pattern= families need parse= and canonical=")
     if pattern is not None and params is not None:
         raise ValueError("params= applies only to fixed-name schemes")
+    if name is not None and axes is not None:
+        raise ValueError("axes= applies only to pattern= families")
 
     def decorate(cls):
         if name is not None:
@@ -162,6 +174,7 @@ def register_scheme(
             canonical=entry_canonical,
             listed=entry_listed,
             syntax=syntax,
+            axes=tuple(axes or ()),
         )
         return cls
 
@@ -238,6 +251,72 @@ def canonical_scheme_name(name: str) -> str:
     return name
 
 
+def enumerate_family(
+    key: str, values: Mapping[str, Sequence[Any]]
+) -> Tuple[str, ...]:
+    """Cross-product a parameterized family into canonical scheme names.
+
+    The design-space explorer (``readduo explore``) materializes whole
+    parameter grids from a family in one call::
+
+        enumerate_family("Select-<k>:<s>", {"k": [2, 4], "s": [1, 2]})
+        # -> ("Select-2:1", "Select-2:2", "Select-4:1", "Select-4:2")
+
+    Args:
+        key: Registry key of the family — its ``syntax`` string
+            (``"LWT-<k>[-noconv]"``) or the raw pattern it was
+            registered under.
+        values: Candidate values per axis. Axes missing from ``values``
+            keep the family's canonical defaults (``conversion_enabled``
+            for LWT); unknown keys raise.
+
+    Returns:
+        Canonical names in deterministic order: the cross product
+        iterates the family's declared ``axes`` order, earlier axes
+        outermost, values in the order given.
+
+    Raises:
+        KeyError: Unknown family key, or a family without declared axes.
+        ValueError: A value key outside the family's axes, an empty
+            value list, or a rendered name that fails to round-trip
+            through :func:`resolve_scheme` (invalid parameter value).
+    """
+    family = _FAMILIES.get(key)
+    if family is None:
+        known = [f.key for f in _FAMILIES.values() if f.axes]
+        raise KeyError(
+            f"unknown scheme family {key!r}; enumerable families: "
+            f"{', '.join(known) if known else '(none)'}"
+        )
+    if not family.axes:
+        raise KeyError(f"scheme family {key!r} declares no parameter axes")
+    unknown = sorted(set(values) - set(family.axes))
+    if unknown:
+        raise ValueError(
+            f"unknown axes for {key!r}: {', '.join(map(str, unknown))}; "
+            f"declared: {', '.join(family.axes)}"
+        )
+    active = [axis for axis in family.axes if axis in values]
+    pools = []
+    for axis in active:
+        pool = list(values[axis])
+        if not pool:
+            raise ValueError(f"axis {axis!r} of {key!r} has no values")
+        pools.append(pool)
+    names = []
+    for combo in itertools.product(*pools):
+        params = dict(zip(active, combo))
+        rendered = family.canonical(params)
+        resolved = resolve_scheme(rendered)
+        if resolved is None or resolved[0] is not family:
+            raise ValueError(
+                f"{key!r} cannot render {params!r}: {rendered!r} is not a "
+                "valid member of the family"
+            )
+        names.append(rendered)
+    return tuple(dict.fromkeys(names))
+
+
 def scheme_catalog() -> Dict[str, Any]:
     """Machine-readable registry listing: names, aliases, family syntaxes.
 
@@ -257,7 +336,11 @@ def scheme_catalog() -> Dict[str, Any]:
     for family in _FAMILIES.values():
         if family.syntax is not None:
             families.append(
-                {"syntax": family.syntax, "listed": list(family.listed)}
+                {
+                    "syntax": family.syntax,
+                    "listed": list(family.listed),
+                    "axes": list(family.axes),
+                }
             )
         for name in family.listed:
             schemes.append(

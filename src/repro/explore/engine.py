@@ -1,0 +1,635 @@
+"""Successive-halving Pareto search over an :class:`ExploreSpace`.
+
+The algorithm (docs/EXPLORE.md):
+
+1. Build the budget ladder: geometric rungs ``base_budget * eta^r``
+   capped by — and always ending exactly at — the requested ``budget``
+   (budget = simulated requests per candidate).
+2. At each rung, materialize every surviving candidate as a
+   :class:`~repro.experiments.spec.SimSpec` at the rung budget, plus one
+   TLC+Ideal baseline spec per distinct config variant, and resolve the
+   whole batch through the execution backend. Candidates differing only
+   in the analytic dimensions (ECC strength, scrub interval) share one
+   run unit; the planner dedups them, and the granular cache makes every
+   completed unit free on a resumed or re-run exploration.
+3. Score each survivor on three minimized objectives — EDAP vs TLC,
+   FIT margin vs the DRAM target, wear vs Ideal — and promote exactly
+   the non-dominated set. Pruned candidates are recorded with the
+   frontier member that dominated them (the prune audit).
+4. The survivors of the final rung, scored at the full budget, are the
+   frontier.
+
+Determinism: scores read only bit-for-bit pinned
+:class:`~repro.memsim.stats.RunStats` plus closed-form reliability/area
+models, and every iteration order is fixed by the space's candidate
+order — so the same seed + space + budget yields an identical frontier
+regardless of jobs, workers, or local-vs-served execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..memsim.stats import RunStats
+from ..metrics.edap import compute_edap
+from ..obs import Telemetry, get_logger
+from ..obs.spans import maybe_span
+from ..pcm.area import (
+    DATA_BITS_PER_LINE,
+    LineCellBudget,
+    cell_budget_for_scheme,
+    tlc_line_budget,
+)
+from ..pcm.params import M_METRIC, R_METRIC, MetricParams
+from ..reliability.ler import line_failure_probability
+from ..reliability.targets import DRAM_TARGET
+from .pareto import dominates, pareto_indices
+from .space import Candidate, ExploreError, ExploreSpace
+
+__all__ = [
+    "FRONTIER_FORMAT",
+    "OBJECTIVES",
+    "FrontierEntry",
+    "PrunedCandidate",
+    "RungReport",
+    "ExploreResult",
+    "LocalExploreBackend",
+    "ServeExploreBackend",
+    "area_budget_for",
+    "explore",
+    "metric_for_scheme",
+    "rung_budgets",
+    "score_objectives",
+    "write_frontier",
+]
+
+_log = get_logger("explore.engine")
+
+#: Version stamp of the frontier artifact (results/frontier.json).
+FRONTIER_FORMAT = 1
+
+#: Objective names, in vector order; all minimized.
+OBJECTIVES: Tuple[str, ...] = ("edap", "fit_margin", "wear")
+
+#: BCH check bits per corrected error over a 512-bit payload: codeword
+#: length <= 1023 needs m = 10 bits per correction (t*m check bits), the
+#: same arithmetic that gives BCH-8 its 80 check bits in repro.pcm.area.
+BCH_CHECK_BITS_PER_T = 10
+
+
+def metric_for_scheme(scheme: str) -> MetricParams:
+    """The readout metric a scheme's scrubber reads under.
+
+    The paper's M-based designs (M-metric, Hybrid, LWT-k, Select-k:s)
+    scrub with drift-robust M-sensing; the conventional baselines
+    (Scrubbing variants) use R-sensing, and the drift-free references
+    (TLC, Ideal) are scored under R as the conservative conventional
+    readout.
+    """
+    if scheme in ("TLC", "Ideal") or scheme.startswith("Scrubbing"):
+        return R_METRIC
+    return M_METRIC
+
+
+def area_budget_for(scheme: str, ecc_strength: int) -> LineCellBudget:
+    """Cells-per-line of a scheme under an analytic BCH-E regime.
+
+    E = 8 is the paper's regime and resolves through
+    :func:`~repro.pcm.area.cell_budget_for_scheme` unchanged; other
+    strengths rescale the MLC check-cell spend (``10 * E`` check bits
+    over the 512-bit payload) while keeping the scheme's SLC tracking
+    flags. TLC carries its own (72, 64) SECDED budget and ignores E.
+    """
+    if scheme == "TLC":
+        return tlc_line_budget()
+    base = cell_budget_for_scheme(scheme)
+    if ecc_strength == 8:
+        return base
+    check_bits = BCH_CHECK_BITS_PER_T * int(ecc_strength)
+    mlc_cells = math.ceil((DATA_BITS_PER_LINE + check_bits) / 2)
+    return LineCellBudget(
+        scheme=scheme,
+        mlc_cells=mlc_cells,
+        slc_cells=base.slc_cells,
+        bits_per_cell=base.bits_per_cell,
+    )
+
+
+def score_objectives(
+    candidate: Candidate,
+    stats: RunStats,
+    tlc_stats: RunStats,
+    ideal_stats: RunStats,
+) -> Tuple[float, float, float]:
+    """One candidate's minimized objective vector.
+
+    * ``edap`` — energy-delay-area product normalized to the TLC
+      baseline run of the same config/budget, with the area term under
+      the candidate's analytic ECC strength;
+    * ``fit_margin`` — per-interval uncorrectable-line probability at
+      (E, S) divided by the DRAM 25-FIT/Mbit budget for S (< 1 meets
+      the paper's target, lower is more margin);
+    * ``wear`` — cell writes relative to the Ideal baseline (the
+      inverse of the lifetime ratio).
+    """
+    entries = compute_edap(
+        {"TLC": tlc_stats, candidate.scheme: stats},
+        budgets={
+            candidate.scheme: area_budget_for(
+                candidate.scheme, candidate.ecc_strength
+            )
+        },
+    )
+    edap = entries[candidate.scheme].edap
+    failure = float(
+        line_failure_probability(
+            metric_for_scheme(candidate.scheme),
+            candidate.ecc_strength,
+            candidate.scrub_interval_s,
+        )
+    )
+    fit_margin = failure / DRAM_TARGET.budget_for_interval(
+        candidate.scrub_interval_s
+    )
+    ideal_writes = ideal_stats.total_cell_writes
+    wear = (
+        stats.total_cell_writes / ideal_writes if ideal_writes else 0.0
+    )
+    return (edap, fit_margin, wear)
+
+
+def rung_budgets(
+    budget: int, base_budget: Optional[int] = None, eta: int = 2
+) -> Tuple[int, ...]:
+    """The successive-halving budget ladder, ending exactly at ``budget``.
+
+    Rungs grow geometrically from ``base_budget`` by ``eta`` and the
+    final rung always runs at the full ``budget`` (so frontier members'
+    stats are exactly the stats of a direct full-budget run — the
+    differential tests rely on this). The default base is
+    ``budget // eta**2``, giving a three-rung ladder.
+    """
+    if not isinstance(budget, int) or isinstance(budget, bool) or budget < 1:
+        raise ExploreError("budget must be an int >= 1")
+    if not isinstance(eta, int) or isinstance(eta, bool) or eta < 2:
+        raise ExploreError("eta must be an int >= 2")
+    if base_budget is None:
+        base_budget = max(budget // (eta * eta), 1)
+    if (
+        not isinstance(base_budget, int)
+        or isinstance(base_budget, bool)
+        or base_budget < 1
+    ):
+        raise ExploreError("base_budget must be an int >= 1")
+    if base_budget > budget:
+        raise ExploreError("base_budget must not exceed budget")
+    ladder: List[int] = []
+    rung = base_budget
+    while rung < budget:
+        ladder.append(rung)
+        rung *= eta
+    ladder.append(budget)
+    return tuple(ladder)
+
+
+# --------------------------------------------------------------- backends
+
+
+class LocalExploreBackend:
+    """Resolve rung batches through an in-process ExecutionService."""
+
+    name = "local"
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+
+    def resolve(
+        self, specs: Sequence[Any]
+    ) -> Tuple[Dict[str, RunStats], Dict[str, Any]]:
+        outcome = self.service.submit(list(specs))
+        return outcome.results, outcome.stats.as_dict()
+
+
+class ServeExploreBackend:
+    """Resolve rung batches through a running ``readduo serve`` daemon.
+
+    Specs are submitted as ordinary ``/v1/submit`` documents (the daemon
+    coalesces and caches by run hash) and the full per-run
+    :class:`RunStats` are then fetched byte-identically from the
+    daemon's shared granular store (``GET /v1/store/<run_hash>`` — the
+    submit payload alone carries only summary floats).
+    """
+
+    name = "serve"
+
+    def __init__(self, client: Any) -> None:
+        self.client = client
+
+    def resolve(
+        self, specs: Sequence[Any]
+    ) -> Tuple[Dict[str, RunStats], Dict[str, Any]]:
+        return asyncio.run(self._resolve(specs))
+
+    async def _resolve(
+        self, specs: Sequence[Any]
+    ) -> Tuple[Dict[str, RunStats], Dict[str, Any]]:
+        from ..service.store import parse_store_entry
+
+        results: Dict[str, RunStats] = {}
+        units_simulated = 0
+        for spec in specs:
+            payload = await self.client.submit(spec.to_dict())
+            owned = (payload.get("plan") or {}).get("owned_stats") or {}
+            units_simulated += int(owned.get("units_simulated") or 0)
+            for workload in spec.effective_workloads():
+                for scheme in spec.schemes:
+                    key = spec.run_hash(workload, scheme)
+                    if key in results:
+                        continue
+                    entry = await self.client.store_get(key)
+                    stats = (
+                        parse_store_entry(entry, key)
+                        if entry is not None
+                        else None
+                    )
+                    if stats is None:
+                        raise ExploreError(
+                            f"daemon returned no stored stats for run "
+                            f"{key} ({workload}/{scheme}); explore-via-"
+                            "serve needs the daemon's run store "
+                            "(always on) to score candidates"
+                        )
+                    results[key] = stats
+        return results, {"units_simulated": units_simulated}
+
+
+# ----------------------------------------------------------- result shapes
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One frontier member with its full-budget score and stats."""
+
+    candidate: Candidate
+    objectives: Tuple[float, float, float]
+    run_hash: str
+    stats: RunStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            **self.candidate.to_dict(),
+            "objectives": dict(zip(OBJECTIVES, self.objectives)),
+            "run_hash": self.run_hash,
+            "stats": self.stats.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """One prune event: who fell, where, and who dominated them."""
+
+    candidate: Candidate
+    rung: int
+    budget: int
+    objectives: Tuple[float, float, float]
+    dominated_by: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.candidate.cid,
+            "rung": self.rung,
+            "budget": self.budget,
+            "objectives": dict(zip(OBJECTIVES, self.objectives)),
+            "dominated_by": self.dominated_by,
+        }
+
+
+@dataclass
+class RungReport:
+    """Per-rung accounting: scores, promotions, and execution stats."""
+
+    rung: int
+    budget: int
+    survivors_in: int
+    survivors_out: int
+    scores: Dict[str, Tuple[float, float, float]]
+    exec_stats: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rung": self.rung,
+            "budget": self.budget,
+            "survivors_in": self.survivors_in,
+            "survivors_out": self.survivors_out,
+            "pruned": self.survivors_in - self.survivors_out,
+            "scores": {
+                cid: dict(zip(OBJECTIVES, vec))
+                for cid, vec in self.scores.items()
+            },
+            "exec": self.exec_stats,
+        }
+
+
+@dataclass
+class ExploreResult:
+    """Everything one exploration produced.
+
+    ``to_dict()`` splits into a deterministic core (space, ladder,
+    frontier, prune audit, per-rung scores) and a variable ``exec``
+    block (units simulated, wall time — cold vs warm runs legitimately
+    differ there). :meth:`frontier_digest` hashes only the
+    deterministic frontier, which is what the determinism gates in CI
+    and the property tests compare.
+    """
+
+    space: ExploreSpace
+    budgets: Tuple[int, ...]
+    frontier: List[FrontierEntry]
+    pruned: List[PrunedCandidate]
+    rungs: List[RungReport]
+    units: Dict[str, Any]
+    wall_s: float
+
+    @property
+    def frontier_ids(self) -> Tuple[str, ...]:
+        return tuple(entry.candidate.cid for entry in self.frontier)
+
+    def frontier_payload(self) -> List[Dict[str, Any]]:
+        """The deterministic frontier section of the artifact."""
+        return [entry.to_dict() for entry in self.frontier]
+
+    def frontier_digest(self) -> str:
+        """SHA-256 over the deterministic frontier section."""
+        import hashlib
+
+        blob = json.dumps(
+            self.frontier_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FRONTIER_FORMAT,
+            "space": self.space.to_dict(),
+            "budgets": list(self.budgets),
+            "objectives": list(OBJECTIVES),
+            "frontier": self.frontier_payload(),
+            "frontier_digest": self.frontier_digest(),
+            "pruned": [p.to_dict() for p in self.pruned],
+            "rungs": [r.to_dict() for r in self.rungs],
+            "exec": {
+                "units": self.units,
+                "wall_s": self.wall_s,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable frontier table."""
+        lines: List[str] = []
+        candidates = (
+            len(self.space.candidates())
+            if self.space is not None
+            else self.rungs[0].survivors_in if self.rungs else 0
+        )
+        ladder = " -> ".join(str(b) for b in self.budgets)
+        lines.append(
+            f"explored {candidates} candidate(s) over "
+            f"{len(self.budgets)} rung(s) (budgets {ladder}); "
+            f"frontier holds {len(self.frontier)}, "
+            f"{len(self.pruned)} pruned"
+        )
+        width = max(
+            (len(e.candidate.cid) for e in self.frontier), default=10
+        )
+        header = (
+            f"  {'candidate':<{width}}  "
+            f"{'edap':>10}  {'fit_margin':>12}  {'wear':>10}"
+        )
+        lines.append("frontier (all objectives minimized):")
+        lines.append(header)
+        for entry in self.frontier:
+            edap, fit, wear = entry.objectives
+            lines.append(
+                f"  {entry.candidate.cid:<{width}}  "
+                f"{edap:>10.4f}  {fit:>12.3e}  {wear:>10.4f}"
+            )
+        units = self.units or {}
+        simulated = units.get("units_simulated")
+        if simulated is not None:
+            lines.append(
+                f"execution: {simulated} unit(s) simulated, "
+                f"{units.get('units_cached', 0)} cached, "
+                f"{self.wall_s:.2f}s wall"
+            )
+        return "\n".join(lines)
+
+
+def write_frontier(
+    result: ExploreResult, path: Union[str, Path]
+) -> Path:
+    """Write the frontier artifact (``results/frontier.json`` shape)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    # No sort_keys: insertion order keeps the embedded RunStats dicts in
+    # their lossless wire order (matching the granular store format).
+    path.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------- engine
+
+
+def _ledger_of(telemetry: Optional[Telemetry]):
+    return telemetry.ledger if telemetry is not None else None
+
+
+def _accumulate_units(
+    total: Dict[str, Any], rung_stats: Mapping[str, Any]
+) -> None:
+    for key, value in rung_stats.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            total[key] = total.get(key, 0) + value
+
+
+def explore(
+    space: ExploreSpace,
+    budget: int,
+    *,
+    base_budget: Optional[int] = None,
+    eta: int = 2,
+    backend: Any,
+    telemetry: Optional[Telemetry] = None,
+) -> ExploreResult:
+    """Run one successive-halving exploration to its Pareto frontier.
+
+    Args:
+        space: The candidate space (see :class:`ExploreSpace`).
+        budget: Final simulated requests per candidate; frontier
+            members' stats are bit-identical to a direct run at this
+            budget.
+        base_budget: First-rung budget (default ``budget // eta**2``).
+        eta: Geometric rung growth factor (>= 2).
+        backend: :class:`LocalExploreBackend` or
+            :class:`ServeExploreBackend` — anything with
+            ``resolve(specs) -> (results_by_run_hash, exec_stats)``.
+        telemetry: Optional :class:`~repro.obs.Telemetry`; rung spans
+            land in its tracer and per-unit ledger records gain the
+            explore provenance fields (candidate id, rung, budget).
+
+    Returns:
+        The :class:`ExploreResult`; raises :class:`ExploreError` on an
+        empty space or invalid budget ladder.
+    """
+    candidates = list(space.candidates())
+    if not candidates:
+        raise ExploreError("the space enumerates no candidates")
+    ladder = rung_budgets(budget, base_budget=base_budget, eta=eta)
+    started = time.perf_counter()
+    survivors = candidates
+    pruned: List[PrunedCandidate] = []
+    rung_reports: List[RungReport] = []
+    units_total: Dict[str, Any] = {}
+    frontier_scored: List[Tuple[Candidate, Tuple[float, float, float], str, RunStats]] = []
+    ledger = _ledger_of(telemetry)
+
+    with maybe_span(
+        "explore.search",
+        candidates=len(candidates),
+        rungs=len(ladder),
+        budget=budget,
+    ):
+        for rung_index, rung_budget in enumerate(ladder):
+            config_variants = list(
+                dict.fromkeys(c.config_label for c in survivors)
+            )
+            configs_by_label = dict(space.configs)
+            baseline_specs = {
+                label: space.baseline_spec(
+                    configs_by_label[label], rung_budget
+                )
+                for label in config_variants
+            }
+            specs = list(baseline_specs.values()) + [
+                space.spec_for(c, rung_budget) for c in survivors
+            ]
+            candidate_by_hash = {
+                space.spec_for(c, rung_budget).run_hash(
+                    space.workload, c.scheme
+                ): c.cid
+                for c in survivors
+            }
+            scope = (
+                ledger.explore_scope(
+                    rung=rung_index,
+                    budget=rung_budget,
+                    candidates=candidate_by_hash,
+                )
+                if ledger is not None
+                else None
+            )
+            with maybe_span(
+                "explore.rung",
+                rung=rung_index,
+                budget=rung_budget,
+                survivors=len(survivors),
+            ) as rung_span:
+                if scope is not None:
+                    with scope:
+                        results, exec_stats = backend.resolve(specs)
+                else:
+                    results, exec_stats = backend.resolve(specs)
+
+                scored: List[
+                    Tuple[Candidate, Tuple[float, float, float], str, RunStats]
+                ] = []
+                for cand in survivors:
+                    spec = space.spec_for(cand, rung_budget)
+                    key = spec.run_hash(space.workload, cand.scheme)
+                    stats = results[key]
+                    baseline = baseline_specs[cand.config_label]
+                    tlc = results[baseline.run_hash(space.workload, "TLC")]
+                    ideal = results[
+                        baseline.run_hash(space.workload, "Ideal")
+                    ]
+                    vector = score_objectives(cand, stats, tlc, ideal)
+                    scored.append((cand, vector, key, stats))
+
+                front = pareto_indices([entry[1] for entry in scored])
+                front_set = set(front)
+                for i, (cand, vector, _key, _stats) in enumerate(scored):
+                    if i in front_set:
+                        continue
+                    dominator = next(
+                        scored[j][0].cid
+                        for j in front
+                        if dominates(scored[j][1], vector)
+                    )
+                    pruned.append(
+                        PrunedCandidate(
+                            candidate=cand,
+                            rung=rung_index,
+                            budget=rung_budget,
+                            objectives=vector,
+                            dominated_by=dominator,
+                        )
+                    )
+                rung_span.set_attr("promoted", len(front))
+                rung_span.set_attr("pruned", len(scored) - len(front))
+
+            _accumulate_units(units_total, exec_stats)
+            rung_reports.append(
+                RungReport(
+                    rung=rung_index,
+                    budget=rung_budget,
+                    survivors_in=len(survivors),
+                    survivors_out=len(front),
+                    scores={
+                        cand.cid: vector for cand, vector, _k, _s in scored
+                    },
+                    exec_stats=dict(exec_stats),
+                )
+            )
+            _log.info(
+                "rung %d/%d (budget %d): %d -> %d survivor(s), "
+                "%d unit(s) simulated",
+                rung_index + 1,
+                len(ladder),
+                rung_budget,
+                len(survivors),
+                len(front),
+                int(exec_stats.get("units_simulated") or 0),
+            )
+            frontier_scored = [scored[i] for i in front]
+            survivors = [scored[i][0] for i in front]
+
+    frontier = [
+        FrontierEntry(
+            candidate=cand, objectives=vector, run_hash=key, stats=stats
+        )
+        for cand, vector, key, stats in frontier_scored
+    ]
+    return ExploreResult(
+        space=space,
+        budgets=ladder,
+        frontier=frontier,
+        pruned=pruned,
+        rungs=rung_reports,
+        units=units_total,
+        wall_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,47 @@
+"""Pareto dominance over minimized objective vectors.
+
+The explorer scores every candidate as a tuple of objectives where
+*lower is always better* (EDAP vs TLC, FIT margin vs the DRAM target,
+wear vs the Ideal baseline). Rung promotion and the final frontier both
+reduce to one question — "is this vector dominated?" — answered here
+with exact float comparisons, no tolerance: the inputs derive from
+bit-for-bit pinned :class:`~repro.memsim.stats.RunStats`, so equality
+is meaningful and determinism survives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["dominates", "pareto_indices"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether vector ``a`` Pareto-dominates ``b`` (all minimized).
+
+    ``a`` dominates ``b`` when it is no worse on every objective and
+    strictly better on at least one. Equal vectors do not dominate each
+    other — ties survive together, which keeps promotion deterministic
+    (no arbitrary tie-break ever drops a candidate).
+    """
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    O(n^2) pairwise scan — candidate counts are tens to hundreds, and
+    the simple algorithm has no ordering sensitivity to threaten
+    determinism.
+    """
+    return [
+        i
+        for i, v in enumerate(vectors)
+        if not any(
+            dominates(w, v) for j, w in enumerate(vectors) if j != i
+        )
+    ]

@@ -32,8 +32,9 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Any, Dict, Optional, Union
+from typing import IO, Any, Dict, Iterator, Mapping, Optional, Union
 
 __all__ = ["LEDGER_RECORD_KIND", "RunLedger"]
 
@@ -56,6 +57,7 @@ class RunLedger:
         self._handle: Optional[IO[str]] = None
         self._plans = 0
         self.records_written = 0
+        self._explore: Optional[Dict[str, Any]] = None
 
     # ----------------------------------------------------------- writing
 
@@ -75,6 +77,35 @@ class RunLedger:
         """
         self._plans += 1
         return self._plans
+
+    @contextmanager
+    def explore_scope(
+        self,
+        rung: int,
+        budget: int,
+        candidates: Mapping[str, str],
+    ) -> Iterator["RunLedger"]:
+        """Stamp explore provenance onto records written inside the scope.
+
+        While active, every unit record gains ``rung`` and ``budget``
+        plus the exploring ``candidate`` id resolved from the
+        ``run_hash -> candidate id`` map (baseline units not owned by a
+        candidate record ``candidate: null``). Scopes do not nest — the
+        explorer drives one rung at a time — and the fields stay absent
+        outside a scope, so pre-explore ledgers keep validating
+        unchanged.
+        """
+        if self._explore is not None:
+            raise RuntimeError("explore_scope does not nest")
+        self._explore = {
+            "rung": int(rung),
+            "budget": int(budget),
+            "candidates": dict(candidates),
+        }
+        try:
+            yield self
+        finally:
+            self._explore = None
 
     def record(
         self,
@@ -123,6 +154,10 @@ class RunLedger:
             "worker": worker,
             "lease": lease,
         }
+        if self._explore is not None:
+            record["candidate"] = self._explore["candidates"].get(run_hash)
+            record["rung"] = self._explore["rung"]
+            record["budget"] = self._explore["budget"]
         handle = self._ensure_open()
         handle.write(json.dumps(record, sort_keys=True))
         handle.write("\n")

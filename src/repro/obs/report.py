@@ -139,6 +139,48 @@ def summarize_ledger(
         reverse=True,
     )[: max(top, 0)]
 
+    # Explore provenance (candidate / rung / budget) appears only on
+    # records written inside a readduo explore rung; summarize it only
+    # when present so pre-explore ledger summaries keep their shape.
+    explore_records = [r for r in records if "rung" in r]
+    explore: Optional[Dict[str, Any]] = None
+    if explore_records:
+        rungs: Dict[int, Dict[str, Any]] = {}
+        candidates = set()
+        for record in explore_records:
+            rung = record["rung"]
+            entry = rungs.setdefault(
+                rung,
+                {
+                    "rung": rung,
+                    "budget": record.get("budget"),
+                    "records": 0,
+                    "simulated": 0,
+                    "candidates": set(),
+                },
+            )
+            entry["records"] += 1
+            if record.get("tier") == "simulated":
+                entry["simulated"] += 1
+            cid = record.get("candidate")
+            if cid is not None:
+                entry["candidates"].add(cid)
+                candidates.add(cid)
+        explore = {
+            "records": len(explore_records),
+            "candidates": len(candidates),
+            "rungs": [
+                {
+                    "rung": entry["rung"],
+                    "budget": entry["budget"],
+                    "records": entry["records"],
+                    "simulated": entry["simulated"],
+                    "candidates": len(entry["candidates"]),
+                }
+                for entry in (rungs[r] for r in sorted(rungs))
+            ],
+        }
+
     workers: Dict[int, Dict[str, Any]] = {}
     for record in simulated:
         pid = record.get("pid")
@@ -166,7 +208,7 @@ def summarize_ledger(
             entry["busy_s"] / span_s if span_s else (1.0 if entry["busy_s"] else None)
         )
 
-    return {
+    summary: Dict[str, Any] = {
         "records": len(records),
         "plans": len(plans),
         "units": n_units,
@@ -196,6 +238,9 @@ def summarize_ledger(
         ],
         "workers": [workers[pid] for pid in sorted(workers)],
     }
+    if explore is not None:
+        summary["explore"] = explore
+    return summary
 
 
 def summarize_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
@@ -261,6 +306,19 @@ def render_ledger_report(
                 f"{entry['wall_s']:.3f}s  engine={entry['engine']} "
                 f"fastpath={entry['fastpath']}"
             )
+    explore = summary.get("explore")
+    if explore:
+        lines.append(
+            f"explore: {explore['records']} record(s) across "
+            f"{len(explore['rungs'])} rung(s), "
+            f"{explore['candidates']} candidate(s)"
+        )
+        for entry in explore["rungs"]:
+            lines.append(
+                f"  rung {entry['rung']} (budget {entry['budget']}): "
+                f"{entry['candidates']} candidate(s), "
+                f"{entry['simulated']}/{entry['records']} simulated"
+            )
     if summary["workers"]:
         lines.append("workers:")
         for entry in summary["workers"]:
@@ -293,6 +351,7 @@ BENCH_COMPARISONS = (
     ("single_run", "requests_per_s", +1),
     ("batch_kernel", "speedup", +1),
     ("telemetry_overhead", "enabled_overhead_pct", -1),
+    ("explore", "requests_saved_ratio", +1),
 )
 
 

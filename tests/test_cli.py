@@ -236,6 +236,73 @@ class TestSweepCommand:
         assert "telemetry" not in json.loads(first.read_text())
 
 
+class TestExploreCommand:
+    ARGV = ["explore", "--schemes", "LWT-2", "Select-4:2",
+            "--workload", "gcc", "--budget", "400", "--base-budget", "200",
+            "--no-cache"]
+
+    def test_explore_parses_with_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.command == "explore"
+        assert args.budget == 8_000
+        assert args.eta == 2
+        assert args.output == "results/frontier.json"
+        assert args.via_serve is None
+
+    def test_explore_writes_frontier_artifact(self, tmp_path, capsys):
+        out = tmp_path / "frontier.json"
+        assert main(self.ARGV + ["--output", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "frontier" in captured.out
+        assert f"wrote {out}" in captured.err
+        payload = json.loads(out.read_text())
+        assert payload["format"] == 1
+        assert payload["budgets"] == [200, 400]
+        assert payload["objectives"] == ["edap", "fit_margin", "wear"]
+        assert payload["frontier"]
+        for entry in payload["frontier"]:
+            assert set(entry["objectives"]) == {"edap", "fit_margin", "wear"}
+            assert entry["run_hash"]
+            assert entry["stats"]
+        # Every candidate is either on the frontier or in the prune audit.
+        ids = {e["id"] for e in payload["frontier"]}
+        ids |= {p["id"] for p in payload["pruned"]}
+        assert ids == {"LWT-2|E8|S640|base", "Select-4:2|E8|S640|base"}
+
+    def test_explore_stdout_stays_pure_json(self, capsys):
+        assert main(self.ARGV + ["--output", "-", "-v"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # would raise on any stray line
+        assert "frontier" in payload
+        assert "frontier" in captured.err  # the table moved to stderr
+
+    def test_space_file_conflicts_with_field_flags(self, tmp_path, capsys):
+        space = tmp_path / "space.json"
+        space.write_text(json.dumps({"schemes": ["LWT-2"]}))
+        code = main(["explore", "--space", str(space),
+                     "--schemes", "Hybrid", "--no-cache"])
+        assert code == 2
+        assert "--space conflicts with --schemes" in capsys.readouterr().err
+
+    def test_unknown_scheme_exits_2(self, capsys):
+        code = main(["explore", "--schemes", "NoSuchScheme", "--no-cache"])
+        assert code == 2
+        assert "NoSuchScheme" in capsys.readouterr().err
+
+    def test_space_file_with_families_expands(self, tmp_path, capsys):
+        space = tmp_path / "space.json"
+        space.write_text(json.dumps({
+            "families": {"Select-<k>:<s>": {"k": [4], "s": [1, 2]}},
+            "workload": "gcc",
+        }))
+        out = tmp_path / "frontier.json"
+        assert main(["explore", "--space", str(space), "--budget", "400",
+                     "--base-budget", "200", "--no-cache",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["space"]["schemes"] == ["Select-4:1", "Select-4:2"]
+
+
 class TestObservabilityFlags:
     def test_simulate_accepts_readduo_prefixed_scheme(self, capsys):
         code = main(

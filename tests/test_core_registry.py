@@ -5,11 +5,13 @@ import pytest
 from repro.core import policies  # noqa: F401  (registers the built-ins)
 from repro.core.registry import (
     canonical_scheme_name,
+    enumerate_family,
     family_syntaxes,
     is_scheme_name,
     make_policy,
     register_scheme,
     resolve_scheme,
+    scheme_catalog,
     scheme_names,
     unknown_scheme_message,
     unregister_scheme,
@@ -69,6 +71,60 @@ class TestBuiltinRegistrations:
     def test_unknown_names_pass_through_unchanged(self):
         assert canonical_scheme_name("NoSuchScheme") == "NoSuchScheme"
         assert not is_scheme_name("NoSuchScheme")
+
+
+class TestEnumerateFamily:
+    """Parameter-space enumeration over registered family axes."""
+
+    def test_select_cross_product_in_axis_order(self):
+        names = enumerate_family(
+            "Select-<k>:<s>", {"k": [2, 4], "s": [1, 2]}
+        )
+        assert names == (
+            "Select-2:1", "Select-2:2", "Select-4:1", "Select-4:2"
+        )
+        assert all(is_scheme_name(name) for name in names)
+
+    def test_single_axis_leaves_others_at_canonical_default(self):
+        assert enumerate_family("LWT-<k>[-noconv]", {"k": [2, 8]}) == (
+            "LWT-2",
+            "LWT-8",
+        )
+
+    def test_boolean_axis_renders_suffix(self):
+        names = enumerate_family(
+            "LWT-<k>[-noconv]",
+            {"k": [4], "conversion_enabled": [True, False]},
+        )
+        assert names == ("LWT-4", "LWT-4-noconv")
+
+    def test_duplicate_values_dedup_preserving_order(self):
+        assert enumerate_family("LWT-<k>[-noconv]", {"k": [4, 4, 2]}) == (
+            "LWT-4",
+            "LWT-2",
+        )
+
+    def test_unknown_family_lists_enumerable_ones(self):
+        with pytest.raises(KeyError, match="enumerable families"):
+            enumerate_family("NoSuch-<x>", {"x": [1]})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axes"):
+            enumerate_family("Select-<k>:<s>", {"k": [2], "zz": [1]})
+
+    def test_empty_axis_pool_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            enumerate_family("Select-<k>:<s>", {"k": []})
+
+    def test_catalog_exposes_axes(self):
+        families = {
+            f["syntax"]: f for f in scheme_catalog()["families"]
+        }
+        assert families["Select-<k>:<s>"]["axes"] == ["k", "s"]
+        assert families["LWT-<k>[-noconv]"]["axes"] == [
+            "k",
+            "conversion_enabled",
+        ]
 
 
 class TestErrors:

@@ -144,6 +144,40 @@ class TestSummarizeLedger:
             assert needle in text
 
 
+class TestExploreSection:
+    def _explore_record(self, run_hash, candidate, rung, budget, tier):
+        record = _record(run_hash, tier)
+        record.update(candidate=candidate, rung=rung, budget=budget)
+        return record
+
+    def test_summary_groups_by_rung(self):
+        records = [
+            self._explore_record("h1", "LWT-2|E8|S640|base", 0, 300, "simulated"),
+            self._explore_record("h2", None, 0, 300, "simulated"),
+            self._explore_record("h1", "LWT-2|E8|S640|base", 1, 600, "simulated"),
+        ]
+        explore = summarize_ledger(records)["explore"]
+        assert explore["records"] == 3
+        assert explore["candidates"] == 1
+        assert [r["rung"] for r in explore["rungs"]] == [0, 1]
+        assert explore["rungs"][0] == {
+            "rung": 0, "budget": 300, "records": 2,
+            "simulated": 2, "candidates": 1,
+        }
+
+    def test_section_absent_without_explore_records(self):
+        summary = summarize_ledger([_record("h1", "simulated")])
+        assert "explore" not in summary
+
+    def test_render_mentions_explore(self):
+        records = [
+            self._explore_record("h1", "LWT-2|E8|S640|base", 0, 300, "memo"),
+        ]
+        text = render_ledger_report(summarize_ledger(records))
+        assert "explore:" in text
+        assert "rung 0 (budget 300)" in text
+
+
 class TestSummarizeMetrics:
     def test_splits_plan_and_fastpath_prefixes(self):
         snapshot = {"counters": {
